@@ -1,0 +1,33 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one artifact of the paper's evaluation
+(a table, a figure, or a quantitative claim) and prints the corresponding
+rows so the output can be compared against the paper side by side; the
+pytest-benchmark timings measure the cost of the reproduction itself
+(generation and verification runtimes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import protocols
+from repro.core import GenerationConfig, generate
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+@pytest.fixture(scope="session")
+def generated():
+    """Every bundled protocol generated in both configurations (cached)."""
+    result = {}
+    for name in protocols.available_protocols():
+        spec = protocols.load(name)
+        result[(name, "nonstalling")] = generate(spec, GenerationConfig.nonstalling())
+        result[(name, "stalling")] = generate(spec, GenerationConfig.stalling())
+    return result

@@ -1,0 +1,27 @@
+"""E11 -- Section VI-E: generation runtime.
+
+The paper reports that ProtoGen's runtime is "always well less than one
+second on an Intel i5".  This benchmark times the full generation pipeline
+(validation, preprocessing, cache and directory generation) for every bundled
+protocol in the non-stalling configuration.
+"""
+
+import pytest
+from conftest import banner
+
+from repro import protocols
+from repro.core import GenerationConfig, generate
+
+
+@pytest.mark.parametrize("name", protocols.available_protocols())
+def test_generation_runtime(benchmark, name):
+    spec = protocols.load(name)
+    generated = benchmark(lambda: generate(spec, GenerationConfig.nonstalling()))
+
+    banner(f"E11 -- generation runtime for {name}")
+    print(f"  cache states: {generated.cache.num_states}, "
+          f"directory states: {generated.directory.num_states}")
+    print("  paper: always well under one second; see the pytest-benchmark table")
+
+    # The paper's claim, with a wide margin for the Python implementation.
+    assert benchmark.stats.stats.mean < 1.0

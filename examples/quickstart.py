@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a concurrent MSI protocol from its atomic specification.
+
+This walks the paper's headline flow end to end:
+
+1. load the stable state protocol (the textbook Tables I / II description);
+2. run the generator to obtain the concurrent cache and directory controllers
+   with all transient states;
+3. print the generated controller tables (the Table VI view);
+4. model-check the result for SWMR, the data-value invariant and deadlock
+   freedom.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import GenerationConfig, generate
+from repro import protocols
+from repro.backends import render_summary, render_table
+from repro.system import System, Workload
+from repro.verification import verify
+
+
+def main() -> None:
+    print("== 1. Load the MSI stable state protocol (atomic specification) ==")
+    ssp = protocols.load("MSI")
+    print(f"   stable cache states     : {ssp.cache.state_names()}")
+    print(f"   stable directory states : {ssp.directory.state_names()}")
+    print(f"   messages                : {ssp.messages.names()}")
+
+    print("\n== 2. Generate the concurrent (non-stalling) protocol ==")
+    generated = generate(ssp, GenerationConfig.nonstalling())
+    print("   " + render_summary(generated.cache))
+    print("   " + render_summary(generated.directory))
+
+    print("\n== 3. Generated cache controller (Table VI view) ==")
+    print(render_table(generated.cache))
+
+    print("\n== 4. Generated directory controller ==")
+    print(render_table(generated.directory))
+
+    print("\n== 5. Model-check the generated protocol ==")
+    system = System(generated, num_caches=2, workload=Workload(max_accesses_per_cache=2))
+    result = verify(system)
+    print(f"   {result.summary}")
+    if not result.ok:
+        print("   counterexample:")
+        for event in result.trace:
+            print(f"     {event}")
+        raise SystemExit(1)
+    print("   SWMR, data-value and deadlock freedom hold on every reachable state.")
+
+
+if __name__ == "__main__":
+    main()

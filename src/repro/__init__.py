@@ -1,0 +1,53 @@
+"""repro -- a reproduction of ProtoGen (ISCA 2018).
+
+ProtoGen takes the *stable state protocol* (SSP) of a directory cache
+coherence protocol -- the atomic, textbook description with only stable
+states -- and automatically generates the complete concurrent protocol: the
+cache-controller and directory-controller finite state machines with every
+transient state needed when coherence transactions race.
+
+Typical use::
+
+    from repro import generate, GenerationConfig
+    from repro import protocols
+    from repro.system import System
+    from repro.verification import verify
+
+    ssp = protocols.load("MSI")
+    generated = generate(ssp, GenerationConfig.nonstalling())
+    print(generated.cache.num_states, "cache states")
+
+    result = verify(System(generated, num_caches=2))
+    assert result.ok
+
+Package layout
+--------------
+
+``repro.dsl``
+    The SSP specification layer (builders, validation, text parser).
+``repro.core``
+    The generator itself (preprocessing, State Sets, transient-state
+    creation, concurrency accommodation, permission assignment).
+``repro.protocols``
+    Bundled SSPs (MSI, MESI, MOSI, MSI+Upgrade, unordered MSI, TSO-CC) and
+    the hand-written primer baselines.
+``repro.system`` / ``repro.verification``
+    The execution substrate and the explicit-state model checker that stands
+    in for Murphi.
+``repro.backends`` / ``repro.analysis``
+    Table / Murphi / dot outputs, metrics, and baseline comparison.
+"""
+
+from repro.core import ConcurrencyPolicy, GeneratedProtocol, GenerationConfig, generate
+from repro.dsl import ProtocolSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConcurrencyPolicy",
+    "GeneratedProtocol",
+    "GenerationConfig",
+    "ProtocolSpec",
+    "__version__",
+    "generate",
+]

@@ -1,0 +1,20 @@
+"""Analysis helpers: protocol metrics and generated-vs-baseline comparison."""
+
+from repro.analysis.compare import ComparisonReport, compare_with_baseline
+from repro.analysis.metrics import (
+    ControllerMetrics,
+    ProtocolMetrics,
+    controller_metrics,
+    protocol_metrics,
+    protocol_transition_count,
+)
+
+__all__ = [
+    "ComparisonReport",
+    "ControllerMetrics",
+    "ProtocolMetrics",
+    "compare_with_baseline",
+    "controller_metrics",
+    "protocol_metrics",
+    "protocol_transition_count",
+]

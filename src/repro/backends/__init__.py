@@ -1,0 +1,7 @@
+"""Output backends: controller tables, Murphi source, Graphviz dot."""
+
+from repro.backends.dot import emit_dot
+from repro.backends.murphi import emit_murphi
+from repro.backends.table import render_summary, render_table
+
+__all__ = ["emit_dot", "emit_murphi", "render_summary", "render_table"]

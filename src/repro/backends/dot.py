@@ -1,0 +1,26 @@
+"""Graphviz dot backend for visualising generated controllers."""
+
+from __future__ import annotations
+
+from repro.core.fsm import ControllerFsm
+
+
+def emit_dot(fsm: ControllerFsm, *, include_stalls: bool = False) -> str:
+    """Emit a Graphviz digraph of *fsm* (states as nodes, transitions as edges)."""
+    lines = [f'digraph "{fsm.name}" {{', "  rankdir=LR;"]
+    for state in fsm.states():
+        shape = "doublecircle" if state.is_stable else "ellipse"
+        label = state.name
+        if state.aliases:
+            label += "\\n(= " + ", ".join(state.aliases) + ")"
+        lines.append(f'  "{state.name}" [shape={shape}, label="{label}"];')
+    for transition in fsm.transitions():
+        if transition.stall and not include_stalls:
+            continue
+        style = ' style=dashed color=gray label="stall: ' if transition.stall else ' label="'
+        lines.append(
+            f'  "{transition.state}" -> "{transition.next_state}"'
+            f'[{style.strip()}{transition.event}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

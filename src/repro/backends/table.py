@@ -1,0 +1,92 @@
+"""Render generated controllers as state/event tables (paper Table VI style).
+
+The renderer produces plain-text (or GitHub markdown) tables with one row per
+controller state and one column per stimulus, matching the layout used by the
+paper and the primer so generated protocols can be inspected side by side
+with the published tables.
+"""
+
+from __future__ import annotations
+
+from repro.core.fsm import AccessEvent, ControllerFsm, FsmTransition, MessageEvent
+from repro.dsl.types import AccessKind, describe_action
+
+
+def _event_columns(fsm: ControllerFsm) -> list[str]:
+    """Column order: accesses first, then message columns in first-use order."""
+    columns: list[str] = []
+    if any(isinstance(t.event, AccessEvent) for t in fsm.transitions()):
+        columns.extend(["Load", "Store", "Replacement"])
+    seen: list[str] = []
+    for transition in fsm.transitions():
+        if isinstance(transition.event, MessageEvent) and transition.event.message not in seen:
+            seen.append(transition.event.message)
+    columns.extend(seen)
+    return columns
+
+
+def _column_of(event) -> str:
+    if isinstance(event, AccessEvent):
+        return {
+            AccessKind.LOAD: "Load",
+            AccessKind.STORE: "Store",
+            AccessKind.REPLACEMENT: "Replacement",
+        }[event.access]
+    return event.message
+
+
+def _cell_text(transitions: list[FsmTransition], state_name: str) -> str:
+    parts = []
+    for transition in transitions:
+        if transition.stall:
+            parts.append("stall")
+            continue
+        actions = "; ".join(describe_action(a) for a in transition.actions) or "-"
+        target = "" if transition.next_state == state_name else f" /{transition.next_state}"
+        guard = f"[{transition.event.guard}] " if getattr(transition.event, "guard", None) else ""
+        parts.append(f"{guard}{actions}{target}")
+    return " || ".join(parts)
+
+
+def render_table(fsm: ControllerFsm, *, markdown: bool = False) -> str:
+    """Render *fsm* as a table; one row per state, one column per stimulus."""
+    columns = _event_columns(fsm)
+    rows: list[list[str]] = []
+    for state in fsm.states():
+        cells: dict[str, list[FsmTransition]] = {}
+        for transition in fsm.transitions_from(state.name):
+            cells.setdefault(_column_of(transition.event), []).append(transition)
+        label = state.name
+        if state.aliases:
+            label += " = " + " = ".join(state.aliases)
+        rows.append(
+            [label] + [_cell_text(cells.get(column, []), state.name) for column in columns]
+        )
+
+    header = ["State"] + columns
+    if markdown:
+        lines = [
+            "| " + " | ".join(header) + " |",
+            "| " + " | ".join("---" for _ in header) + " |",
+        ]
+        lines += ["| " + " | ".join(cell or "" for cell in row) + " |" for row in rows]
+        return "\n".join(lines)
+
+    widths = [
+        max(len(str(row[i])) for row in [header] + rows) for i in range(len(header))
+    ]
+    def fmt(row):
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in rows]
+    return "\n".join(lines)
+
+
+def render_summary(fsm: ControllerFsm) -> str:
+    """One-paragraph summary: state count, transition count, stall count."""
+    return (
+        f"{fsm.name}: {fsm.num_states} states "
+        f"({len(fsm.stable_states())} stable, {len(fsm.transient_states())} transient), "
+        f"{fsm.num_transitions} transitions, {fsm.num_stalls} stalls"
+    )

@@ -1,0 +1,31 @@
+"""The ProtoGen generator: from an atomic SSP to a concurrent directory protocol."""
+
+from repro.core.config import ConcurrencyPolicy, DirectoryPolicy, GenerationConfig
+from repro.core.fsm import (
+    AccessEvent,
+    ControllerFsm,
+    FsmState,
+    FsmTransition,
+    GeneratedProtocol,
+    MessageEvent,
+    StateKind,
+)
+from repro.core.generator import generate
+from repro.core.preprocess import PreprocessResult, forwarded_arrival_states, preprocess
+
+__all__ = [
+    "AccessEvent",
+    "ConcurrencyPolicy",
+    "ControllerFsm",
+    "DirectoryPolicy",
+    "FsmState",
+    "FsmTransition",
+    "GeneratedProtocol",
+    "GenerationConfig",
+    "MessageEvent",
+    "PreprocessResult",
+    "StateKind",
+    "forwarded_arrival_states",
+    "generate",
+    "preprocess",
+]

@@ -1,0 +1,240 @@
+"""Step 3: accommodating concurrency (paper Section V-D, Figures 1 and 2).
+
+For every transient cache state and every forwarded request that can arrive
+there, decide whether the forwarded request belongs to a transaction that was
+serialized at the directory *before* (Case 1) or *after* (Case 2) the cache's
+own transaction, and generate the corresponding behaviour:
+
+* **Case 1 -- other transaction ordered earlier.**  The cache must respond
+  immediately (stalling could deadlock) and logically restart its own
+  transaction from the stable state the response leaves it in.  If the same
+  access would issue the same request from that state, the cache simply moves
+  to that transaction's first transient state; if the access needs a
+  *different* request (the Upgrade example), the directory later reinterprets
+  the stale request; if the access needs *no* transaction at all, the cache
+  waits out its now-stale request in a ``II_A``-style state.
+
+* **Case 2 -- other transaction ordered after.**  Depending on the
+  configuration the cache stalls, or transitions immediately to a new
+  transient state while deferring (some or all of) the responses until its
+  own transaction completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import ConcurrencyPolicy, GenerationConfig
+from repro.core.context import CacheGenContext, TransientDescriptor
+from repro.core.fsm import FsmTransition, MessageEvent
+from repro.core.transient import emit_wait_transitions
+from repro.dsl.errors import GenerationError
+from repro.dsl.ssp import Reaction
+from repro.dsl.types import Action, PerformAccess, SaveRequestor, Send, Dest, is_data_send
+
+
+def accommodate_concurrency(ctx: CacheGenContext) -> None:
+    """Drain the worklist: for every transient state, emit wait transitions and
+    handle every forwarded request that can arrive in it (to fixpoint)."""
+    while ctx.worklist:
+        name = ctx.worklist.popleft()
+        descriptor = ctx.descriptors[name]
+        emit_wait_transitions(ctx, name, descriptor)
+        _handle_forwarded_requests(ctx, name, descriptor)
+
+
+def _handle_forwarded_requests(
+    ctx: CacheGenContext, name: str, descriptor: TransientDescriptor
+) -> None:
+    for message in ctx.spec.forwarded_messages():
+        arrival_states = set(ctx.spec.cache_arrival_states(message))
+        relevant = arrival_states & set(descriptor.membership)
+        if not relevant:
+            continue
+        if ctx.fsm.has_transition(name, MessageEvent(message)):
+            # Already handled (e.g. the forwarded request doubles as a trigger
+            # of the own transaction in an unusual SSP).
+            continue
+        if (
+            not descriptor.redirected
+            and descriptor.start in relevant
+            and descriptor.start not in descriptor.reachable_finals()
+        ):
+            _case1_other_ordered_earlier(ctx, name, descriptor, message, descriptor.start)
+        else:
+            arrival = _pick_case2_arrival_state(descriptor, relevant)
+            _case2_other_ordered_after(ctx, name, descriptor, message, arrival)
+
+
+def _pick_case2_arrival_state(descriptor: TransientDescriptor, relevant: set[str]) -> str:
+    finals = descriptor.reachable_finals()
+    for state in relevant:
+        if state in finals:
+            return state
+    return sorted(relevant)[0]
+
+
+def _single_reaction(ctx: CacheGenContext, state: str, message: str) -> Reaction:
+    reactions = ctx.spec.cache.reactions_for(state, message)
+    if not reactions:
+        raise GenerationError(
+            f"the SSP does not say how a cache in {state!r} handles {message!r}"
+        )
+    return reactions[0]
+
+
+# ---------------------------------------------------------------------------
+# Case 1
+# ---------------------------------------------------------------------------
+
+
+def _case1_other_ordered_earlier(
+    ctx: CacheGenContext,
+    name: str,
+    descriptor: TransientDescriptor,
+    message: str,
+    arrival_state: str,
+) -> None:
+    reaction = _single_reaction(ctx, arrival_state, message)
+    landing = reaction.next_state
+    actions: list[Action] = list(reaction.actions)
+
+    restart = ctx.spec.cache.transaction_for(landing, descriptor.access)
+    if restart is not None and restart.stages:
+        # Restart the own transaction from the landing state: move to that
+        # transaction's first transient state.  No new request is issued; if
+        # the landing state would have issued a different request, the
+        # directory reinterprets the one already in flight (Section V-D1).
+        if (
+            restart.request is not None
+            and descriptor.request is not None
+            and restart.request.message != descriptor.request
+        ):
+            ctx.reinterpretations.add((descriptor.request, restart.request.message))
+        target = ctx.ensure_state(ctx.descriptor_for_stage(restart, 0))
+        ctx.fsm.add_transition(
+            FsmTransition(
+                state=name,
+                event=MessageEvent(message, guard=reaction.guard),
+                actions=tuple(actions),
+                next_state=target,
+            )
+        )
+        return
+
+    # No restart transaction is needed (or it completes without waiting): the
+    # access either already hits in the landing state or needs nothing (a
+    # replacement of a block that is now invalid).  The original request is
+    # still in flight, so wait it out in a stale-request state; the directory
+    # will acknowledge it as stale (Section V-F).
+    settled = restart.final_state if restart is not None else landing
+    access_performed = descriptor.access_performed
+    if not access_performed and ctx.spec.cache.state(settled).permission.allows(descriptor.access):
+        actions.append(PerformAccess())
+        access_performed = True
+
+    stale = replace(
+        descriptor,
+        membership=frozenset({settled}),
+        chain=(settled,),
+        stale=True,
+        access_performed=access_performed,
+    )
+    target = ctx.ensure_state(stale)
+    ctx.fsm.add_transition(
+        FsmTransition(
+            state=name,
+            event=MessageEvent(message, guard=reaction.guard),
+            actions=tuple(actions),
+            next_state=target,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case 2
+# ---------------------------------------------------------------------------
+
+
+def _case2_other_ordered_after(
+    ctx: CacheGenContext,
+    name: str,
+    descriptor: TransientDescriptor,
+    message: str,
+    arrival_state: str,
+) -> None:
+    config = ctx.config
+    reaction = _single_reaction(ctx, arrival_state, message)
+
+    if config.policy is ConcurrencyPolicy.STALLING or (
+        len(descriptor.chain) >= config.pending_transaction_limit
+    ):
+        ctx.fsm.add_transition(
+            FsmTransition(
+                state=name,
+                event=MessageEvent(message, guard=reaction.guard),
+                actions=(),
+                next_state=name,
+                stall=True,
+            )
+        )
+        return
+
+    immediate, deferred, save_slot = _partition_actions(
+        config, reaction.actions, descriptor.slots_used
+    )
+    transition_actions: list[Action] = []
+    slots_used = descriptor.slots_used
+    if save_slot is not None:
+        transition_actions.append(SaveRequestor(slot=save_slot))
+        slots_used = save_slot + 1
+    transition_actions.extend(immediate)
+
+    redirected = replace(
+        descriptor,
+        membership=frozenset({reaction.next_state}),
+        chain=descriptor.chain + (reaction.next_state,),
+        deferred=descriptor.deferred + tuple(deferred),
+        slots_used=slots_used,
+    )
+    target = ctx.ensure_state(redirected)
+    ctx.fsm.add_transition(
+        FsmTransition(
+            state=name,
+            event=MessageEvent(message, guard=reaction.guard),
+            actions=tuple(transition_actions),
+            next_state=target,
+        )
+    )
+
+
+def _partition_actions(
+    config: GenerationConfig, actions: tuple[Action, ...], slots_used: int
+) -> tuple[list[Action], list[Action], int | None]:
+    """Split reaction actions into (immediate, deferred, requestor slot).
+
+    Data-carrying sends are always deferred: their contents depend on the own
+    transaction completing (paper Section V-D2, "Immediate Transition and
+    Responses").  Other sends are sent immediately under the
+    NONSTALLING_IMMEDIATE policy and deferred under NONSTALLING_DEFERRED.
+    Non-send bookkeeping is applied at completion time.
+    """
+    immediate: list[Action] = []
+    deferred: list[Action] = []
+    save_slot: int | None = None
+    for action in actions:
+        if isinstance(action, Send):
+            must_defer = is_data_send(action) or (
+                config.policy is ConcurrencyPolicy.NONSTALLING_DEFERRED
+            )
+            if must_defer:
+                if action.to is Dest.REQUESTOR:
+                    if save_slot is None:
+                        save_slot = slots_used
+                    action = replace(action, requestor_slot=save_slot)
+                deferred.append(action)
+            else:
+                immediate.append(action)
+        else:
+            deferred.append(action)
+    return immediate, deferred, save_slot

@@ -1,0 +1,263 @@
+"""Generated finite-state-machine representation.
+
+The generator's output is one :class:`ControllerFsm` per controller (cache
+and directory).  The FSM is a flat table: for every state and every event
+(core access or incoming message, possibly guarded) it gives the actions to
+perform and the next state -- exactly the information in the paper's
+Table VI.  The same structure is interpreted directly by the execution
+substrate in :mod:`repro.system` and rendered by the backends.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.dsl.errors import GenerationError
+from repro.dsl.types import AccessKind, Action, ControllerKind, Permission
+
+
+class StateKind(enum.Enum):
+    STABLE = "stable"
+    TRANSIENT = "transient"
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event class (marker)."""
+
+
+@dataclass(frozen=True)
+class AccessEvent(Event):
+    """A core access (load / store / replacement) presented to the cache."""
+
+    access: AccessKind
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return str(self.access)
+
+
+@dataclass(frozen=True)
+class MessageEvent(Event):
+    """An incoming coherence message, with an optional guard.
+
+    Guard values are the trigger conditions from the SSP layer
+    (``ack_count_zero``, ``acks_complete``, ...) plus the sender guards used
+    by the directory (``from_owner``, ``last_sharer``, ...).
+    """
+
+    message: str
+    guard: str | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.guard:
+            return f"{self.message}[{self.guard}]"
+        return self.message
+
+
+def event_key(event: Event) -> tuple:
+    """Key used to group transitions that compete for the same stimulus."""
+    if isinstance(event, AccessEvent):
+        return ("access", event.access)
+    if isinstance(event, MessageEvent):
+        return ("message", event.message)
+    raise GenerationError(f"unknown event type {event!r}")
+
+
+# ---------------------------------------------------------------------------
+# States and transitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FsmState:
+    """One state of a generated controller.
+
+    ``state_sets`` is the set of *stable* state names whose State Set this
+    state belongs to (paper Step 1); for a stable state it is the singleton
+    of its own name.  ``aliases`` records alternative names for states merged
+    by the generator (e.g. ``IM_A_S`` / ``SM_A_S``).
+    """
+
+    name: str
+    kind: StateKind
+    permission: Permission = Permission.NONE
+    state_sets: frozenset[str] = frozenset()
+    aliases: tuple[str, ...] = ()
+    # Free-form provenance used by analysis / table rendering.
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def is_stable(self) -> bool:
+        return self.kind is StateKind.STABLE
+
+
+@dataclass(frozen=True)
+class FsmTransition:
+    """One row-cell of the controller table."""
+
+    state: str
+    event: Event
+    actions: tuple[Action, ...]
+    next_state: str
+    stall: bool = False
+
+    def with_actions(self, actions: Iterable[Action]) -> "FsmTransition":
+        return replace(self, actions=tuple(actions))
+
+
+class ControllerFsm:
+    """A complete generated controller."""
+
+    def __init__(self, name: str, kind: ControllerKind, initial_state: str):
+        self.name = name
+        self.kind = kind
+        self.initial_state = initial_state
+        self._states: dict[str, FsmState] = {}
+        self._transitions: list[FsmTransition] = []
+        self._index: dict[tuple, list[FsmTransition]] = {}
+
+    # -- states ---------------------------------------------------------------
+    def add_state(self, state: FsmState) -> FsmState:
+        if state.name in self._states:
+            raise GenerationError(f"duplicate FSM state {state.name!r}")
+        self._states[state.name] = state
+        return state
+
+    def has_state(self, name: str) -> bool:
+        return name in self._states
+
+    def state(self, name: str) -> FsmState:
+        try:
+            return self._states[name]
+        except KeyError:
+            raise GenerationError(f"unknown FSM state {name!r}") from None
+
+    def states(self) -> list[FsmState]:
+        return list(self._states.values())
+
+    def state_names(self) -> list[str]:
+        return list(self._states)
+
+    def stable_states(self) -> list[FsmState]:
+        return [s for s in self._states.values() if s.is_stable]
+
+    def transient_states(self) -> list[FsmState]:
+        return [s for s in self._states.values() if not s.is_stable]
+
+    def resolve_state(self, name: str) -> str:
+        """Resolve *name*, accepting aliases of merged states."""
+        if name in self._states:
+            return name
+        for state in self._states.values():
+            if name in state.aliases:
+                return state.name
+        raise GenerationError(f"unknown FSM state or alias {name!r}")
+
+    # -- transitions ----------------------------------------------------------
+    def add_transition(self, transition: FsmTransition) -> FsmTransition:
+        if transition.state not in self._states:
+            raise GenerationError(
+                f"transition from unknown state {transition.state!r}"
+            )
+        if not transition.stall and transition.next_state not in self._states:
+            raise GenerationError(
+                f"transition from {transition.state!r} to unknown state "
+                f"{transition.next_state!r}"
+            )
+        key = (transition.state, event_key(transition.event))
+        existing = self._index.setdefault(key, [])
+        for other in existing:
+            if other.event == transition.event:
+                raise GenerationError(
+                    f"duplicate transition for {transition.event} in state "
+                    f"{transition.state!r}"
+                )
+        existing.append(transition)
+        self._transitions.append(transition)
+        return transition
+
+    def has_transition(self, state: str, event: Event) -> bool:
+        key = (state, event_key(event))
+        return any(t.event == event for t in self._index.get(key, []))
+
+    def transitions(self) -> list[FsmTransition]:
+        return list(self._transitions)
+
+    def transitions_from(self, state: str) -> list[FsmTransition]:
+        return [t for t in self._transitions if t.state == state]
+
+    def candidates(self, state: str, event: Event) -> list[FsmTransition]:
+        """All transitions in *state* that compete for *event*'s stimulus.
+
+        For a :class:`MessageEvent` the returned list contains every guarded
+        variant for the same message; the caller (the execution substrate)
+        evaluates the guards against the concrete message and controller
+        state.
+        """
+        key = (state, event_key(event))
+        return list(self._index.get(key, []))
+
+    def events_handled_in(self, state: str) -> set[Event]:
+        return {t.event for t in self.transitions_from(state)}
+
+    def messages_handled_in(self, state: str) -> set[str]:
+        return {
+            t.event.message
+            for t in self.transitions_from(state)
+            if isinstance(t.event, MessageEvent)
+        }
+
+    # -- metrics --------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self._transitions)
+
+    @property
+    def num_stalls(self) -> int:
+        return sum(1 for t in self._transitions if t.stall)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ControllerFsm {self.name} ({self.kind.value}): "
+            f"{self.num_states} states, {self.num_transitions} transitions>"
+        )
+
+
+@dataclass
+class GeneratedProtocol:
+    """The full output of the generator for one input SSP."""
+
+    name: str
+    cache: ControllerFsm
+    directory: ControllerFsm
+    messages: "object"  # MessageCatalog; typed loosely to avoid an import cycle
+    config: "object"    # GenerationConfig
+    source_spec: "object"  # the (preprocessed) ProtocolSpec
+    renamings: dict[str, list[str]] = field(default_factory=dict)
+
+    def controller(self, kind: ControllerKind) -> ControllerFsm:
+        return self.cache if kind is ControllerKind.CACHE else self.directory
+
+    def summary(self) -> dict:
+        return {
+            "protocol": self.name,
+            "cache_states": self.cache.num_states,
+            "cache_transitions": self.cache.num_transitions,
+            "cache_stalls": self.cache.num_stalls,
+            "directory_states": self.directory.num_states,
+            "directory_transitions": self.directory.num_transitions,
+            "directory_stalls": self.directory.num_stalls,
+            "total_states": self.cache.num_states + self.directory.num_states,
+            "total_transitions": self.cache.num_transitions + self.directory.num_transitions,
+        }

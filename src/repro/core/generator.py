@@ -1,0 +1,79 @@
+"""ProtoGen: putting it all together (paper Section V-G).
+
+:func:`generate` is the public entry point of the library.  Given a stable
+state protocol specification and a :class:`~repro.core.config.GenerationConfig`
+it runs:
+
+1. SSP validation and preprocessing (forwarded-request renaming);
+2. Step 1 -- State-Set initialization;
+3. Step 2 -- transient states in the absence of concurrency;
+4. Step 3 -- concurrency accommodation, to fixpoint;
+5. Step 4 -- access-permission assignment;
+6. directory-controller generation;
+
+and returns a :class:`~repro.core.fsm.GeneratedProtocol` containing the cache
+and directory finite state machines.
+"""
+
+from __future__ import annotations
+
+from repro.core.concurrency import accommodate_concurrency
+from repro.core.config import GenerationConfig
+from repro.core.context import CacheGenContext
+from repro.core.directory import generate_directory
+from repro.core.fsm import ControllerFsm, FsmTransition, GeneratedProtocol, MessageEvent
+from repro.core.permissions import assign_access_permissions
+from repro.core.preprocess import preprocess
+from repro.core.transient import build_initial_transients
+from repro.dsl.ssp import ProtocolSpec
+from repro.dsl.validation import validate_protocol
+
+
+def generate(
+    spec: ProtocolSpec,
+    config: GenerationConfig | None = None,
+    *,
+    validate: bool = True,
+) -> GeneratedProtocol:
+    """Generate the concurrent protocol for the stable state protocol *spec*."""
+    config = config or GenerationConfig()
+    if validate:
+        validate_protocol(spec, strict=True)
+
+    preprocessed = preprocess(spec)
+    working = preprocessed.spec
+
+    cache_fsm = _generate_cache(working, config)
+    directory_fsm = generate_directory(working, config)
+
+    return GeneratedProtocol(
+        name=working.name,
+        cache=cache_fsm,
+        directory=directory_fsm,
+        messages=working.messages,
+        config=config,
+        source_spec=working,
+        renamings=preprocessed.renamings,
+    )
+
+
+def _generate_cache(spec: ProtocolSpec, config: GenerationConfig) -> ControllerFsm:
+    ctx = CacheGenContext(spec, config)
+    ctx.add_stable_states()          # Step 1: State Sets start as {stable}
+    _emit_stable_reactions(ctx)      # SSP behaviour at stable states
+    build_initial_transients(ctx)    # Step 2
+    accommodate_concurrency(ctx)     # Step 3 (drains the worklist to fixpoint)
+    assign_access_permissions(ctx)   # Step 4
+    return ctx.fsm
+
+
+def _emit_stable_reactions(ctx: CacheGenContext) -> None:
+    for reaction in ctx.spec.cache.reactions:
+        ctx.fsm.add_transition(
+            FsmTransition(
+                state=reaction.state,
+                event=MessageEvent(reaction.message, guard=reaction.guard),
+                actions=reaction.actions,
+                next_state=reaction.next_state,
+            )
+        )

@@ -1,0 +1,58 @@
+"""Stable State Protocol (SSP) specification layer.
+
+This subpackage provides the data model used to describe an *atomic* directory
+coherence protocol -- the textbook tables with only stable states (paper
+Tables I and II).  The :mod:`repro.core` generator consumes these
+specifications and produces the concurrent protocol with transient states.
+
+The main entry points are:
+
+* :class:`repro.dsl.ssp.ProtocolSpec` -- a complete SSP (cache controller
+  spec, directory controller spec, message catalog, network assumptions).
+* :class:`repro.dsl.builder.CacheSpecBuilder` /
+  :class:`repro.dsl.builder.DirectorySpecBuilder` -- fluent builders used by
+  the bundled protocols in :mod:`repro.protocols`; together they play the role
+  of the paper's domain specific language, embedded in Python.
+"""
+
+from repro.dsl.types import (
+    AccessKind,
+    ControllerKind,
+    Dest,
+    MessageClass,
+    Permission,
+)
+from repro.dsl.messages import MessageCatalog, MessageType
+from repro.dsl.ssp import (
+    AwaitStage,
+    ControllerSpec,
+    ProtocolSpec,
+    Reaction,
+    StateSpec,
+    Transaction,
+    Trigger,
+)
+from repro.dsl.builder import CacheSpecBuilder, DirectorySpecBuilder, ProtocolBuilder
+from repro.dsl.errors import SpecError, ValidationError
+
+__all__ = [
+    "AccessKind",
+    "AwaitStage",
+    "CacheSpecBuilder",
+    "ControllerKind",
+    "ControllerSpec",
+    "Dest",
+    "DirectorySpecBuilder",
+    "MessageCatalog",
+    "MessageClass",
+    "MessageType",
+    "Permission",
+    "ProtocolBuilder",
+    "ProtocolSpec",
+    "Reaction",
+    "SpecError",
+    "StateSpec",
+    "Transaction",
+    "Trigger",
+    "ValidationError",
+]

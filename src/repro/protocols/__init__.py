@@ -1,0 +1,59 @@
+"""Bundled stable state protocol specifications and reference baselines.
+
+Each module exposes a ``build()`` function returning a
+:class:`repro.dsl.ssp.ProtocolSpec`:
+
+* :mod:`repro.protocols.msi` -- the textbook MSI protocol (paper Tables I/II).
+* :mod:`repro.protocols.mesi` -- MESI with an Exclusive state and silent E->M.
+* :mod:`repro.protocols.mosi` -- MOSI with an Owned state; exercises the
+  preprocessing renaming (paper Tables III/IV).
+* :mod:`repro.protocols.msi_upgrade` -- MSI with Upgrade requests; exercises
+  directory request reinterpretation (paper Section V-D1).
+* :mod:`repro.protocols.msi_unordered` -- MSI with explicit handshakes for an
+  interconnect without point-to-point ordering (paper Section VI-C).
+* :mod:`repro.protocols.tso_cc` -- a simplified TSO-CC-style protocol without
+  sharer tracking (paper Section VI-D).
+* :mod:`repro.protocols.primer` -- the hand-written primer MSI controllers
+  (stalling and non-stalling) used as comparison baselines for Table VI.
+"""
+
+from repro.protocols import msi, mesi, mosi, msi_unordered, msi_upgrade, primer, tso_cc
+
+REGISTRY = {
+    "MSI": msi.build,
+    "MESI": mesi.build,
+    "MOSI": mosi.build,
+    "MSI-Upgrade": msi_upgrade.build,
+    "MSI-Unordered": msi_unordered.build,
+    "TSO-CC": tso_cc.build,
+}
+
+
+def available_protocols() -> list[str]:
+    """Names of the bundled SSPs accepted by :func:`load`."""
+    return list(REGISTRY)
+
+
+def load(name: str):
+    """Build the bundled SSP called *name* (see :func:`available_protocols`)."""
+    try:
+        factory = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {', '.join(REGISTRY)}"
+        ) from None
+    return factory()
+
+
+__all__ = [
+    "REGISTRY",
+    "available_protocols",
+    "load",
+    "mesi",
+    "mosi",
+    "msi",
+    "msi_unordered",
+    "msi_upgrade",
+    "primer",
+    "tso_cc",
+]

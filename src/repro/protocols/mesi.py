@@ -1,0 +1,209 @@
+"""Stable state protocol for a MESI directory protocol.
+
+MESI adds an E(xclusive) state: a cache that requests a read-only copy of an
+uncached block is granted exclusive access (``Data_E``) and may later upgrade
+to M *silently* on a store.  Because the E->M transition is silent, the
+directory cannot distinguish an owner in E from an owner in M; the cache
+reactions to forwarded requests are therefore identical in E and M, and the
+generator treats {E, M} as a single arrival class (no renaming is needed).
+"""
+
+from __future__ import annotations
+
+from repro.dsl.builder import CacheSpecBuilder, DirectorySpecBuilder, ProtocolBuilder
+from repro.dsl.ssp import ProtocolSpec
+from repro.dsl.types import (
+    AccessKind,
+    AddOwnerToSharers,
+    AddRequestorToSharers,
+    ClearOwner,
+    ClearSharers,
+    CopyDataFromMessage,
+    Dest,
+    Permission,
+    RemoveRequestorFromSharers,
+    Send,
+    SetOwnerToRequestor,
+)
+
+
+def _declare_messages(protocol: ProtocolBuilder) -> None:
+    protocol.request("GetS")
+    protocol.request("GetM")
+    protocol.request("PutS")
+    protocol.request("PutE")
+    protocol.request("PutM", carries_data=True)
+    protocol.forward("Fwd_GetS")
+    protocol.forward("Fwd_GetM")
+    protocol.forward("Inv")
+    protocol.response("Data", carries_data=True, carries_ack_count=True)
+    protocol.response("Data_E", carries_data=True)
+    protocol.response("Inv_Ack")
+    protocol.response("Put_Ack")
+
+
+def _add_store_transaction(cache: CacheSpecBuilder, start: str) -> None:
+    (
+        cache.on_access(start, AccessKind.STORE)
+        .request("GetM")
+        .await_stage("AD")
+        .when("Data", condition="ack_count_zero", receives_data=True).complete("M")
+        .when("Data", condition="ack_count_nonzero", receives_data=True,
+              latches_ack_count=True).goto_stage("A")
+        .when("Inv_Ack", counts_ack=True).stay()
+        .await_stage("A")
+        .when("Inv_Ack", condition="acks_complete", counts_ack=True).complete("M")
+        .when("Inv_Ack", condition="acks_incomplete", counts_ack=True).stay()
+        .done()
+    )
+
+
+def build_cache() -> CacheSpecBuilder:
+    cache = CacheSpecBuilder(initial="I")
+    cache.state("I", Permission.NONE)
+    cache.state("S", Permission.READ)
+    cache.state("E", Permission.READ)
+    cache.state("M", Permission.READ_WRITE)
+
+    # I --load--> S or E, depending on whether the directory had other sharers.
+    (
+        cache.on_access("I", AccessKind.LOAD)
+        .request("GetS")
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("S")
+        .when("Data_E", receives_data=True).complete("E")
+        .done()
+    )
+    _add_store_transaction(cache, "I")
+    _add_store_transaction(cache, "S")
+    # Silent upgrade on a store to an Exclusive block.
+    cache.on_access("E", AccessKind.STORE).completes_to("M").done()
+
+    # Replacements.
+    (
+        cache.on_access("S", AccessKind.REPLACEMENT)
+        .request("PutS")
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+    (
+        cache.on_access("E", AccessKind.REPLACEMENT)
+        .request("PutE")
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+    (
+        cache.on_access("M", AccessKind.REPLACEMENT)
+        .request("PutM", with_data=True)
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+
+    # Forwarded requests.
+    cache.react("S", "Inv", "I", Send("Inv_Ack", Dest.REQUESTOR))
+    for owner_state in ("E", "M"):
+        cache.react(
+            owner_state, "Fwd_GetS", "S",
+            Send("Data", Dest.REQUESTOR, with_data=True),
+            Send("Data", Dest.DIRECTORY, with_data=True),
+        )
+        cache.react(
+            owner_state, "Fwd_GetM", "I",
+            Send("Data", Dest.REQUESTOR, with_data=True),
+        )
+    return cache
+
+
+def build_directory() -> DirectorySpecBuilder:
+    directory = DirectorySpecBuilder(initial="I")
+    directory.state("I")
+    directory.state("S")
+    # "E" at the directory means "exclusive access granted"; the owner may
+    # have silently upgraded to M, which is why owner_view names the arrival
+    # class representative.
+    directory.state("E", owner_view="E")
+
+    # State I: an uncached block is granted exclusively.
+    directory.react(
+        "I", "GetS", "E",
+        Send("Data_E", Dest.REQUESTOR, with_data=True),
+        SetOwnerToRequestor(),
+    )
+    directory.react(
+        "I", "GetM", "E",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        SetOwnerToRequestor(),
+    )
+
+    # State S
+    directory.react(
+        "S", "GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        AddRequestorToSharers(),
+    )
+    directory.react(
+        "S", "GetM", "E",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        Send("Inv", Dest.SHARERS),
+        SetOwnerToRequestor(),
+        ClearSharers(),
+    )
+    directory.react(
+        "S", "PutS", "S",
+        Send("Put_Ack", Dest.REQUESTOR),
+        RemoveRequestorFromSharers(),
+        guard="not_last_sharer",
+    )
+    directory.react(
+        "S", "PutS", "I",
+        Send("Put_Ack", Dest.REQUESTOR),
+        RemoveRequestorFromSharers(),
+        guard="last_sharer",
+    )
+
+    # State E (exclusive owner, possibly dirty)
+    (
+        directory.on_request("E", "GetS")
+        .issue(
+            Send("Fwd_GetS", Dest.OWNER, recipient_state="E"),
+            AddRequestorToSharers(),
+            AddOwnerToSharers(),
+            ClearOwner(),
+        )
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("S")
+        .done()
+    )
+    directory.react(
+        "E", "GetM", "E",
+        Send("Fwd_GetM", Dest.OWNER, recipient_state="E"),
+        SetOwnerToRequestor(),
+    )
+    directory.react(
+        "E", "PutM", "I",
+        CopyDataFromMessage(),
+        Send("Put_Ack", Dest.REQUESTOR),
+        ClearOwner(),
+        guard="from_owner",
+    )
+    directory.react(
+        "E", "PutE", "I",
+        Send("Put_Ack", Dest.REQUESTOR),
+        ClearOwner(),
+        guard="from_owner",
+    )
+    return directory
+
+
+def build() -> ProtocolSpec:
+    """Build the MESI stable state protocol."""
+    protocol = ProtocolBuilder(
+        "MESI",
+        ordered_network=True,
+        description="MESI directory protocol with silent E->M upgrade",
+    )
+    _declare_messages(protocol)
+    return protocol.build(build_cache(), build_directory())

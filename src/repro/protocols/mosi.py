@@ -1,0 +1,256 @@
+"""Stable state protocol for a MOSI directory protocol.
+
+MOSI adds an O(wned) state: a cache that holds dirty data and observes a
+GetS keeps the block (as owner) and supplies data to readers directly,
+avoiding a writeback to the LLC.  Because an owner can be in either M or O,
+the natural SSP lets ``Fwd_GetS`` (and ``Fwd_GetM``) arrive at two different
+stable states -- exactly the situation of the paper's Tables III and IV.  The
+preprocessing step renames the O-state arrivals to ``O_Fwd_GetS`` /
+``O_Fwd_GetM`` so a requesting cache can deduce the serialization order.
+
+Design choices specific to this SSP (documented for the comparison in
+DESIGN.md):
+
+* A GetS that reaches the directory in M or O is forwarded to the owner,
+  which supplies the data directly and keeps/becomes O -- the MOSI fast path.
+* A GetM from a non-owner that reaches the directory in O is *recalled
+  through the directory*: the owner returns the data to the directory, which
+  then answers the requestor and invalidates the sharers.  (The primer's MOSI
+  uses a direct owner-to-requestor transfer plus a separate ack count; the
+  recall variant keeps every transaction a two-party exchange, which is the
+  only structure our DSL's completion automaton expresses.)
+* An owner upgrading O->M receives an ``AckCount`` response (no data -- its
+  own copy is already the newest) and collects invalidation acks.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.builder import CacheSpecBuilder, DirectorySpecBuilder, ProtocolBuilder
+from repro.dsl.ssp import ProtocolSpec
+from repro.dsl.types import (
+    AccessKind,
+    AddRequestorToSharers,
+    ClearOwner,
+    ClearSharers,
+    CopyDataFromMessage,
+    Dest,
+    Permission,
+    RemoveRequestorFromSharers,
+    Send,
+    SetOwnerToRequestor,
+)
+
+
+def _declare_messages(protocol: ProtocolBuilder) -> None:
+    protocol.request("GetS")
+    protocol.request("GetM")
+    protocol.request("PutS")
+    protocol.request("PutO", carries_data=True)
+    protocol.request("PutM", carries_data=True)
+    protocol.forward("Fwd_GetS")
+    protocol.forward("Fwd_GetM")
+    protocol.forward("Inv")
+    protocol.response("Data", carries_data=True, carries_ack_count=True)
+    protocol.response("AckCount", carries_ack_count=True)
+    protocol.response("Inv_Ack")
+    protocol.response("Put_Ack")
+
+
+def _add_data_store_transaction(cache: CacheSpecBuilder, start: str) -> None:
+    """I->M / S->M: needs Data (with an ack count) plus invalidation acks."""
+    (
+        cache.on_access(start, AccessKind.STORE)
+        .request("GetM")
+        .await_stage("AD")
+        .when("Data", condition="ack_count_zero", receives_data=True).complete("M")
+        .when("Data", condition="ack_count_nonzero", receives_data=True,
+              latches_ack_count=True).goto_stage("A")
+        .when("Inv_Ack", counts_ack=True).stay()
+        .await_stage("A")
+        .when("Inv_Ack", condition="acks_complete", counts_ack=True).complete("M")
+        .when("Inv_Ack", condition="acks_incomplete", counts_ack=True).stay()
+        .done()
+    )
+
+
+def build_cache() -> CacheSpecBuilder:
+    cache = CacheSpecBuilder(initial="I")
+    cache.state("I", Permission.NONE)
+    cache.state("S", Permission.READ)
+    cache.state("O", Permission.READ)
+    cache.state("M", Permission.READ_WRITE)
+
+    (
+        cache.on_access("I", AccessKind.LOAD)
+        .request("GetS")
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("S")
+        .done()
+    )
+    _add_data_store_transaction(cache, "I")
+    _add_data_store_transaction(cache, "S")
+    # O->M: the owner already holds the newest data, so it only needs the
+    # count of sharers to invalidate.
+    (
+        cache.on_access("O", AccessKind.STORE)
+        .request("GetM")
+        .await_stage("AC")
+        .when("AckCount", condition="ack_count_zero").complete("M")
+        .when("AckCount", condition="ack_count_nonzero", latches_ack_count=True).goto_stage("A")
+        .when("Inv_Ack", counts_ack=True).stay()
+        .await_stage("A")
+        .when("Inv_Ack", condition="acks_complete", counts_ack=True).complete("M")
+        .when("Inv_Ack", condition="acks_incomplete", counts_ack=True).stay()
+        .done()
+    )
+
+    # Replacements.
+    (
+        cache.on_access("S", AccessKind.REPLACEMENT)
+        .request("PutS")
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+    (
+        cache.on_access("O", AccessKind.REPLACEMENT)
+        .request("PutO", with_data=True)
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+    (
+        cache.on_access("M", AccessKind.REPLACEMENT)
+        .request("PutM", with_data=True)
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+
+    # Forwarded requests (Table III: Fwd_GetS can arrive in M and in O).
+    cache.react("S", "Inv", "I", Send("Inv_Ack", Dest.REQUESTOR))
+    cache.react("M", "Fwd_GetS", "O", Send("Data", Dest.REQUESTOR, with_data=True))
+    cache.react("M", "Fwd_GetM", "I", Send("Data", Dest.REQUESTOR, with_data=True))
+    cache.react("O", "Fwd_GetS", "O", Send("Data", Dest.REQUESTOR, with_data=True))
+    cache.react("O", "Fwd_GetM", "I", Send("Data", Dest.DIRECTORY, with_data=True))
+    return cache
+
+
+def build_directory() -> DirectorySpecBuilder:
+    directory = DirectorySpecBuilder(initial="I")
+    directory.state("I")
+    directory.state("S")
+    directory.state("O", owner_view="O")
+    directory.state("M", owner_view="M")
+
+    # State I
+    directory.react(
+        "I", "GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        AddRequestorToSharers(),
+    )
+    directory.react(
+        "I", "GetM", "M",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        SetOwnerToRequestor(),
+    )
+
+    # State S
+    directory.react(
+        "S", "GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        AddRequestorToSharers(),
+    )
+    directory.react(
+        "S", "GetM", "M",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        Send("Inv", Dest.SHARERS),
+        SetOwnerToRequestor(),
+        ClearSharers(),
+    )
+    directory.react(
+        "S", "PutS", "S",
+        Send("Put_Ack", Dest.REQUESTOR),
+        RemoveRequestorFromSharers(),
+        guard="not_last_sharer",
+    )
+    directory.react(
+        "S", "PutS", "I",
+        Send("Put_Ack", Dest.REQUESTOR),
+        RemoveRequestorFromSharers(),
+        guard="last_sharer",
+    )
+
+    # State M (single dirty owner, no sharers)
+    directory.react(
+        "M", "GetS", "O",
+        Send("Fwd_GetS", Dest.OWNER, recipient_state="M"),
+        AddRequestorToSharers(),
+    )
+    directory.react(
+        "M", "GetM", "M",
+        Send("Fwd_GetM", Dest.OWNER, recipient_state="M"),
+        SetOwnerToRequestor(),
+    )
+    directory.react(
+        "M", "PutM", "I",
+        CopyDataFromMessage(),
+        Send("Put_Ack", Dest.REQUESTOR),
+        ClearOwner(),
+        guard="from_owner",
+    )
+
+    # State O (dirty owner plus sharers)
+    directory.react(
+        "O", "GetS", "O",
+        Send("Fwd_GetS", Dest.OWNER, recipient_state="O"),
+        AddRequestorToSharers(),
+    )
+    # Owner upgrade O->M: only the sharer count is needed.
+    directory.react(
+        "O", "GetM", "M",
+        Send("AckCount", Dest.REQUESTOR, with_ack_count=True),
+        Send("Inv", Dest.SHARERS),
+        ClearSharers(),
+        guard="from_owner",
+    )
+    # GetM from a non-owner: recall the dirty data through the directory,
+    # then answer the requestor and invalidate the sharers.
+    (
+        directory.on_request("O", "GetM")
+        .issue(Send("Fwd_GetM", Dest.OWNER, recipient_state="O"))
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("M")
+        .on_complete(
+            Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+            Send("Inv", Dest.SHARERS),
+            SetOwnerToRequestor(),
+            ClearSharers(),
+        )
+        .done()
+    )
+    directory.react(
+        "O", "PutO", "S",
+        CopyDataFromMessage(),
+        Send("Put_Ack", Dest.REQUESTOR),
+        ClearOwner(),
+        guard="from_owner",
+    )
+    directory.react(
+        "O", "PutS", "O",
+        Send("Put_Ack", Dest.REQUESTOR),
+        RemoveRequestorFromSharers(),
+    )
+    return directory
+
+
+def build() -> ProtocolSpec:
+    """Build the MOSI stable state protocol."""
+    protocol = ProtocolBuilder(
+        "MOSI",
+        ordered_network=True,
+        description="MOSI directory protocol with an Owned state "
+        "(exercises forwarded-request renaming, paper Tables III/IV)",
+    )
+    _declare_messages(protocol)
+    return protocol.build(build_cache(), build_directory())

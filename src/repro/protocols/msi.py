@@ -1,0 +1,194 @@
+"""Stable state protocol for the textbook MSI directory protocol.
+
+This is a direct transcription of the paper's Tables I and II:
+
+* Table I (cache): I / S / M stable states, GetS / GetM / PutS / PutM
+  requests, reactions to Fwd_GetS, Fwd_GetM and Inv.
+* Table II (directory): I / S / M stable states with an owner field and a
+  sharer list.
+
+The protocol assumes point-to-point ordering in the interconnect.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.builder import CacheSpecBuilder, DirectorySpecBuilder, ProtocolBuilder
+from repro.dsl.ssp import ProtocolSpec
+from repro.dsl.types import (
+    AccessKind,
+    AddOwnerToSharers,
+    AddRequestorToSharers,
+    ClearOwner,
+    ClearSharers,
+    CopyDataFromMessage,
+    Dest,
+    Permission,
+    RemoveRequestorFromSharers,
+    Send,
+    SetOwnerToRequestor,
+)
+
+
+def _declare_messages(protocol: ProtocolBuilder) -> None:
+    protocol.request("GetS")
+    protocol.request("GetM")
+    protocol.request("PutS")
+    protocol.request("PutM", carries_data=True)
+    protocol.forward("Fwd_GetS")
+    protocol.forward("Fwd_GetM")
+    protocol.forward("Inv")
+    protocol.response("Data", carries_data=True, carries_ack_count=True)
+    protocol.response("Inv_Ack")
+    protocol.response("Put_Ack")
+
+
+def _add_store_transaction(cache: CacheSpecBuilder, start: str) -> None:
+    """The I->M / S->M transaction (paper Listing 1 and Table V).
+
+    The GetM can be answered either with Data carrying a zero ack count
+    (completing immediately) or with Data carrying a non-zero ack count, in
+    which case the cache must also collect one Inv_Ack per previous sharer.
+    Inv_Acks can race ahead of the Data, so they are also absorbed in the
+    first stage.
+    """
+    (
+        cache.on_access(start, AccessKind.STORE)
+        .request("GetM")
+        .await_stage("AD")
+        .when("Data", condition="ack_count_zero", receives_data=True).complete("M")
+        .when("Data", condition="ack_count_nonzero", receives_data=True,
+              latches_ack_count=True).goto_stage("A")
+        .when("Inv_Ack", counts_ack=True).stay()
+        .await_stage("A")
+        .when("Inv_Ack", condition="acks_complete", counts_ack=True).complete("M")
+        .when("Inv_Ack", condition="acks_incomplete", counts_ack=True).stay()
+        .done()
+    )
+
+
+def build_cache() -> CacheSpecBuilder:
+    cache = CacheSpecBuilder(initial="I")
+    cache.state("I", Permission.NONE)
+    cache.state("S", Permission.READ)
+    cache.state("M", Permission.READ_WRITE)
+
+    # I --load--> S
+    (
+        cache.on_access("I", AccessKind.LOAD)
+        .request("GetS")
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("S")
+        .done()
+    )
+    # I --store--> M and S --store--> M
+    _add_store_transaction(cache, "I")
+    _add_store_transaction(cache, "S")
+    # S --replacement--> I
+    (
+        cache.on_access("S", AccessKind.REPLACEMENT)
+        .request("PutS")
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+    # M --replacement--> I (the PutM carries the dirty data)
+    (
+        cache.on_access("M", AccessKind.REPLACEMENT)
+        .request("PutM", with_data=True)
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+
+    # Reactions to forwarded requests (Table I, right-hand columns).
+    cache.react("S", "Inv", "I", Send("Inv_Ack", Dest.REQUESTOR))
+    cache.react(
+        "M", "Fwd_GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        Send("Data", Dest.DIRECTORY, with_data=True),
+    )
+    cache.react("M", "Fwd_GetM", "I", Send("Data", Dest.REQUESTOR, with_data=True))
+    return cache
+
+
+def build_directory() -> DirectorySpecBuilder:
+    directory = DirectorySpecBuilder(initial="I")
+    directory.state("I")
+    directory.state("S")
+    directory.state("M", owner_view="M")
+
+    # State I
+    directory.react(
+        "I", "GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        AddRequestorToSharers(),
+    )
+    directory.react(
+        "I", "GetM", "M",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        SetOwnerToRequestor(),
+    )
+
+    # State S
+    directory.react(
+        "S", "GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        AddRequestorToSharers(),
+    )
+    directory.react(
+        "S", "GetM", "M",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        Send("Inv", Dest.SHARERS),
+        SetOwnerToRequestor(),
+        ClearSharers(),
+    )
+    directory.react(
+        "S", "PutS", "S",
+        Send("Put_Ack", Dest.REQUESTOR),
+        RemoveRequestorFromSharers(),
+        guard="not_last_sharer",
+    )
+    directory.react(
+        "S", "PutS", "I",
+        Send("Put_Ack", Dest.REQUESTOR),
+        RemoveRequestorFromSharers(),
+        guard="last_sharer",
+    )
+
+    # State M
+    (
+        directory.on_request("M", "GetS")
+        .issue(
+            Send("Fwd_GetS", Dest.OWNER, recipient_state="M"),
+            AddRequestorToSharers(),
+            AddOwnerToSharers(),
+            ClearOwner(),
+        )
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("S")
+        .done()
+    )
+    directory.react(
+        "M", "GetM", "M",
+        Send("Fwd_GetM", Dest.OWNER, recipient_state="M"),
+        SetOwnerToRequestor(),
+    )
+    directory.react(
+        "M", "PutM", "I",
+        CopyDataFromMessage(),
+        Send("Put_Ack", Dest.REQUESTOR),
+        ClearOwner(),
+        guard="from_owner",
+    )
+    return directory
+
+
+def build() -> ProtocolSpec:
+    """Build the MSI stable state protocol (cache + directory + messages)."""
+    protocol = ProtocolBuilder(
+        "MSI",
+        ordered_network=True,
+        description="Textbook MSI directory protocol (paper Tables I and II)",
+    )
+    _declare_messages(protocol)
+    return protocol.build(build_cache(), build_directory())

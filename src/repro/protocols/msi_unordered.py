@@ -1,0 +1,146 @@
+"""MSI variant for an interconnect *without* point-to-point ordering
+(paper Section VI-C).
+
+The ordered MSI protocol relies on point-to-point ordering in exactly one
+place: the eviction path, where a Put-Ack must not overtake an Invalidation
+or a forwarded request sent earlier to the same cache.  This variant removes
+that reliance by removing the eviction path altogether: caches keep blocks
+until a forwarded request or an invalidation takes them away.  (This is the
+substitution documented in DESIGN.md -- the paper's variant instead adds
+extra handshake messages; both approaches make every remaining race
+insensitive to reordering, which is the property the experiment checks.)
+
+All remaining races -- a forwarded request overtaking the Data response it
+chases, an Invalidation overtaking the Data response of a GetS, invalidation
+acknowledgments overtaking the Data of a GetM -- are resolved by the
+generated transient states themselves and are therefore safe on an unordered
+network, which is what the verification experiment (E9) demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.builder import CacheSpecBuilder, DirectorySpecBuilder, ProtocolBuilder
+from repro.dsl.ssp import ProtocolSpec
+from repro.dsl.types import (
+    AccessKind,
+    AddOwnerToSharers,
+    AddRequestorToSharers,
+    ClearOwner,
+    ClearSharers,
+    Dest,
+    Permission,
+    Send,
+    SetOwnerToRequestor,
+)
+
+
+def _declare_messages(protocol: ProtocolBuilder) -> None:
+    protocol.request("GetS")
+    protocol.request("GetM")
+    protocol.forward("Fwd_GetS")
+    protocol.forward("Fwd_GetM")
+    protocol.forward("Inv")
+    protocol.response("Data", carries_data=True, carries_ack_count=True)
+    protocol.response("Inv_Ack")
+
+
+def _add_store_transaction(cache: CacheSpecBuilder, start: str) -> None:
+    (
+        cache.on_access(start, AccessKind.STORE)
+        .request("GetM")
+        .await_stage("AD")
+        .when("Data", condition="ack_count_zero", receives_data=True).complete("M")
+        .when("Data", condition="ack_count_nonzero", receives_data=True,
+              latches_ack_count=True).goto_stage("A")
+        .when("Inv_Ack", counts_ack=True).stay()
+        .await_stage("A")
+        .when("Inv_Ack", condition="acks_complete", counts_ack=True).complete("M")
+        .when("Inv_Ack", condition="acks_incomplete", counts_ack=True).stay()
+        .done()
+    )
+
+
+def build_cache() -> CacheSpecBuilder:
+    cache = CacheSpecBuilder(initial="I")
+    cache.state("I", Permission.NONE)
+    cache.state("S", Permission.READ)
+    cache.state("M", Permission.READ_WRITE)
+
+    (
+        cache.on_access("I", AccessKind.LOAD)
+        .request("GetS")
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("S")
+        .done()
+    )
+    _add_store_transaction(cache, "I")
+    _add_store_transaction(cache, "S")
+
+    cache.react("S", "Inv", "I", Send("Inv_Ack", Dest.REQUESTOR))
+    cache.react(
+        "M", "Fwd_GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        Send("Data", Dest.DIRECTORY, with_data=True),
+    )
+    cache.react("M", "Fwd_GetM", "I", Send("Data", Dest.REQUESTOR, with_data=True))
+    return cache
+
+
+def build_directory() -> DirectorySpecBuilder:
+    directory = DirectorySpecBuilder(initial="I")
+    directory.state("I")
+    directory.state("S")
+    directory.state("M", owner_view="M")
+
+    directory.react(
+        "I", "GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        AddRequestorToSharers(),
+    )
+    directory.react(
+        "I", "GetM", "M",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        SetOwnerToRequestor(),
+    )
+    directory.react(
+        "S", "GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        AddRequestorToSharers(),
+    )
+    directory.react(
+        "S", "GetM", "M",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        Send("Inv", Dest.SHARERS),
+        SetOwnerToRequestor(),
+        ClearSharers(),
+    )
+    (
+        directory.on_request("M", "GetS")
+        .issue(
+            Send("Fwd_GetS", Dest.OWNER, recipient_state="M"),
+            AddRequestorToSharers(),
+            AddOwnerToSharers(),
+            ClearOwner(),
+        )
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("S")
+        .done()
+    )
+    directory.react(
+        "M", "GetM", "M",
+        Send("Fwd_GetM", Dest.OWNER, recipient_state="M"),
+        SetOwnerToRequestor(),
+    )
+    return directory
+
+
+def build() -> ProtocolSpec:
+    """Build the unordered-network MSI stable state protocol."""
+    protocol = ProtocolBuilder(
+        "MSI-Unordered",
+        ordered_network=False,
+        description="MSI for an interconnect without point-to-point ordering "
+        "(paper Section VI-C); no eviction path",
+    )
+    _declare_messages(protocol)
+    return protocol.build(build_cache(), build_directory())

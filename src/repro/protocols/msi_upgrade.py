@@ -1,0 +1,216 @@
+"""MSI with Upgrade requests (paper Section V-D1, the request-reinterpretation example).
+
+A cache holding a block in S that wants to write issues an *Upgrade* instead
+of a GetM: it already has the data, so it only needs the invalidation count.
+If the Upgrade loses a race (another cache's GetM was serialized first), the
+issuer no longer has valid data, so the directory must *reinterpret* the
+Upgrade as the request the same access would have issued from I -- a GetM --
+and supply data.  The generator records this reinterpretation when it builds
+the Case-1 restart (SM -> IM), and the directory generation duplicates the
+GetM handling for Upgrade in every state where Upgrade itself has no entry.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.builder import CacheSpecBuilder, DirectorySpecBuilder, ProtocolBuilder
+from repro.dsl.ssp import ProtocolSpec
+from repro.dsl.types import (
+    AccessKind,
+    AddOwnerToSharers,
+    AddRequestorToSharers,
+    ClearOwner,
+    ClearSharers,
+    CopyDataFromMessage,
+    Dest,
+    Permission,
+    RemoveRequestorFromSharers,
+    Send,
+    SetOwnerToRequestor,
+)
+
+
+def _declare_messages(protocol: ProtocolBuilder) -> None:
+    protocol.request("GetS")
+    protocol.request("GetM")
+    protocol.request("Upgrade")
+    protocol.request("PutS")
+    protocol.request("PutM", carries_data=True)
+    protocol.forward("Fwd_GetS")
+    protocol.forward("Fwd_GetM")
+    protocol.forward("Inv")
+    protocol.response("Data", carries_data=True, carries_ack_count=True)
+    protocol.response("AckCount", carries_ack_count=True)
+    protocol.response("Inv_Ack")
+    protocol.response("Put_Ack")
+
+
+def build_cache() -> CacheSpecBuilder:
+    cache = CacheSpecBuilder(initial="I")
+    cache.state("I", Permission.NONE)
+    cache.state("S", Permission.READ)
+    cache.state("M", Permission.READ_WRITE)
+
+    (
+        cache.on_access("I", AccessKind.LOAD)
+        .request("GetS")
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("S")
+        .done()
+    )
+    # A store in I needs data: GetM.
+    (
+        cache.on_access("I", AccessKind.STORE)
+        .request("GetM")
+        .await_stage("AD")
+        .when("Data", condition="ack_count_zero", receives_data=True).complete("M")
+        .when("Data", condition="ack_count_nonzero", receives_data=True,
+              latches_ack_count=True).goto_stage("A")
+        .when("Inv_Ack", counts_ack=True).stay()
+        .await_stage("A")
+        .when("Inv_Ack", condition="acks_complete", counts_ack=True).complete("M")
+        .when("Inv_Ack", condition="acks_incomplete", counts_ack=True).stay()
+        .done()
+    )
+    # A store in S already has data: Upgrade (count only).
+    (
+        cache.on_access("S", AccessKind.STORE)
+        .request("Upgrade")
+        .await_stage("AC")
+        .when("AckCount", condition="ack_count_zero").complete("M")
+        .when("AckCount", condition="ack_count_nonzero", latches_ack_count=True).goto_stage("A")
+        .when("Inv_Ack", counts_ack=True).stay()
+        .await_stage("A")
+        .when("Inv_Ack", condition="acks_complete", counts_ack=True).complete("M")
+        .when("Inv_Ack", condition="acks_incomplete", counts_ack=True).stay()
+        .done()
+    )
+    # The requestor of an Upgrade that was overtaken receives Data instead of
+    # AckCount (the directory reinterpreted the Upgrade as a GetM); the
+    # generator routes the cache into the IM transient states where Data is
+    # expected, so nothing else needs to be said here.
+
+    (
+        cache.on_access("S", AccessKind.REPLACEMENT)
+        .request("PutS")
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+    (
+        cache.on_access("M", AccessKind.REPLACEMENT)
+        .request("PutM", with_data=True)
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+
+    cache.react("S", "Inv", "I", Send("Inv_Ack", Dest.REQUESTOR))
+    cache.react(
+        "M", "Fwd_GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        Send("Data", Dest.DIRECTORY, with_data=True),
+    )
+    cache.react("M", "Fwd_GetM", "I", Send("Data", Dest.REQUESTOR, with_data=True))
+    return cache
+
+
+def build_directory() -> DirectorySpecBuilder:
+    directory = DirectorySpecBuilder(initial="I")
+    directory.state("I")
+    directory.state("S")
+    directory.state("M", owner_view="M")
+
+    directory.react(
+        "I", "GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        AddRequestorToSharers(),
+    )
+    directory.react(
+        "I", "GetM", "M",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        SetOwnerToRequestor(),
+    )
+
+    directory.react(
+        "S", "GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        AddRequestorToSharers(),
+    )
+    directory.react(
+        "S", "GetM", "M",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        Send("Inv", Dest.SHARERS),
+        SetOwnerToRequestor(),
+        ClearSharers(),
+    )
+    # Upgrade from a current sharer: no data needed.
+    directory.react(
+        "S", "Upgrade", "M",
+        Send("AckCount", Dest.REQUESTOR, with_ack_count=True),
+        Send("Inv", Dest.SHARERS),
+        SetOwnerToRequestor(),
+        ClearSharers(),
+        guard="from_sharer",
+    )
+    # Upgrade from a cache that has since been invalidated: it needs data, so
+    # treat it exactly like a GetM.
+    directory.react(
+        "S", "Upgrade", "M",
+        Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+        Send("Inv", Dest.SHARERS),
+        SetOwnerToRequestor(),
+        ClearSharers(),
+        guard="not_from_sharer",
+    )
+    directory.react(
+        "S", "PutS", "S",
+        Send("Put_Ack", Dest.REQUESTOR),
+        RemoveRequestorFromSharers(),
+        guard="not_last_sharer",
+    )
+    directory.react(
+        "S", "PutS", "I",
+        Send("Put_Ack", Dest.REQUESTOR),
+        RemoveRequestorFromSharers(),
+        guard="last_sharer",
+    )
+
+    (
+        directory.on_request("M", "GetS")
+        .issue(
+            Send("Fwd_GetS", Dest.OWNER, recipient_state="M"),
+            AddRequestorToSharers(),
+            AddOwnerToSharers(),
+            ClearOwner(),
+        )
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("S")
+        .done()
+    )
+    directory.react(
+        "M", "GetM", "M",
+        Send("Fwd_GetM", Dest.OWNER, recipient_state="M"),
+        SetOwnerToRequestor(),
+    )
+    directory.react(
+        "M", "PutM", "I",
+        CopyDataFromMessage(),
+        Send("Put_Ack", Dest.REQUESTOR),
+        ClearOwner(),
+        guard="from_owner",
+    )
+    # A stale Upgrade arriving in I or M is reinterpreted as a GetM by the
+    # generator's request-reinterpretation pass (both are issued by a store).
+    return directory
+
+
+def build() -> ProtocolSpec:
+    """Build the MSI-with-Upgrades stable state protocol."""
+    protocol = ProtocolBuilder(
+        "MSI-Upgrade",
+        ordered_network=True,
+        description="MSI with Upgrade requests; exercises directory request "
+        "reinterpretation (paper Section V-D1)",
+    )
+    _declare_messages(protocol)
+    return protocol.build(build_cache(), build_directory())

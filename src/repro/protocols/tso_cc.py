@@ -1,0 +1,135 @@
+"""A simplified TSO-CC-style stable state protocol (paper Section VI-D).
+
+TSO-CC (Elver & Nagarajan, HPCA 2014) is a coherence protocol tailored to the
+TSO consistency model: it does not track sharers and therefore never sends
+invalidations; readers may keep (and read) stale copies until they
+self-invalidate, which TSO permits.  The point of the paper's experiment is
+that ProtoGen can generate a complete concurrent protocol for such an
+*unconventional* SSP, not just for MOESI-style ones.
+
+This module reproduces that structure at the SSP level:
+
+* the directory tracks only the exclusive owner, never the sharers;
+* GetS is answered from memory (or the owner) without recording the reader;
+* GetM never triggers invalidations -- stale shared copies simply persist;
+* shared copies are dropped silently (self-invalidation stands in for the
+  timestamp-based self-invalidation of the real protocol).
+
+Because stale read-only copies may coexist with a writer, the generated
+protocol intentionally violates SWMR in physical time; the verification
+experiment therefore checks single-ownership, the data-value invariant on
+ownership transfers and deadlock freedom, but not SWMR (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.dsl.builder import CacheSpecBuilder, DirectorySpecBuilder, ProtocolBuilder
+from repro.dsl.ssp import ProtocolSpec
+from repro.dsl.types import (
+    AccessKind,
+    ClearOwner,
+    CopyDataFromMessage,
+    Dest,
+    Permission,
+    Send,
+    SetOwnerToRequestor,
+)
+
+
+def _declare_messages(protocol: ProtocolBuilder) -> None:
+    protocol.request("GetS")
+    protocol.request("GetM")
+    protocol.request("PutM", carries_data=True)
+    protocol.forward("Fwd_GetS")
+    protocol.forward("Fwd_GetM")
+    protocol.response("Data", carries_data=True)
+    protocol.response("Put_Ack")
+
+
+def build_cache() -> CacheSpecBuilder:
+    cache = CacheSpecBuilder(initial="I")
+    cache.state("I", Permission.NONE)
+    cache.state("S", Permission.READ)
+    cache.state("M", Permission.READ_WRITE)
+
+    (
+        cache.on_access("I", AccessKind.LOAD)
+        .request("GetS")
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("S")
+        .done()
+    )
+    for start in ("I", "S"):
+        (
+            cache.on_access(start, AccessKind.STORE)
+            .request("GetM")
+            .await_stage("D")
+            .when("Data", receives_data=True).complete("M")
+            .done()
+        )
+    # Self-invalidation of an untracked shared copy: silent.
+    cache.on_access("S", AccessKind.REPLACEMENT).completes_to("I").done()
+    (
+        cache.on_access("M", AccessKind.REPLACEMENT)
+        .request("PutM", with_data=True)
+        .await_stage("A")
+        .when("Put_Ack").complete("I")
+        .done()
+    )
+
+    # The owner supplies data on forwarded requests; readers are never
+    # invalidated (there is no Inv message in this protocol).
+    cache.react(
+        "M", "Fwd_GetS", "S",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        Send("Data", Dest.DIRECTORY, with_data=True),
+    )
+    cache.react("M", "Fwd_GetM", "I", Send("Data", Dest.REQUESTOR, with_data=True))
+    return cache
+
+
+def build_directory() -> DirectorySpecBuilder:
+    directory = DirectorySpecBuilder(initial="I")
+    # "I" here means "no exclusive owner"; readers are not tracked, so the
+    # directory has no S state at all.
+    directory.state("I")
+    directory.state("M", owner_view="M")
+
+    directory.react("I", "GetS", "I", Send("Data", Dest.REQUESTOR, with_data=True))
+    directory.react(
+        "I", "GetM", "M",
+        Send("Data", Dest.REQUESTOR, with_data=True),
+        SetOwnerToRequestor(),
+    )
+    (
+        directory.on_request("M", "GetS")
+        .issue(Send("Fwd_GetS", Dest.OWNER, recipient_state="M"), ClearOwner())
+        .await_stage("D")
+        .when("Data", receives_data=True).complete("I")
+        .done()
+    )
+    directory.react(
+        "M", "GetM", "M",
+        Send("Fwd_GetM", Dest.OWNER, recipient_state="M"),
+        SetOwnerToRequestor(),
+    )
+    directory.react(
+        "M", "PutM", "I",
+        CopyDataFromMessage(),
+        Send("Put_Ack", Dest.REQUESTOR),
+        ClearOwner(),
+        guard="from_owner",
+    )
+    return directory
+
+
+def build() -> ProtocolSpec:
+    """Build the simplified TSO-CC stable state protocol."""
+    protocol = ProtocolBuilder(
+        "TSO-CC",
+        ordered_network=True,
+        description="Simplified TSO-CC-style protocol: no sharer tracking, "
+        "no invalidations, self-invalidating readers (paper Section VI-D)",
+    )
+    _declare_messages(protocol)
+    return protocol.build(build_cache(), build_directory())

@@ -1,0 +1,35 @@
+"""Execution substrate: caches, directory, interconnect, whole-system model."""
+
+from repro.system.message import DIRECTORY_ID, Message
+from repro.system.network import Network, OrderedNetwork, UnorderedNetwork, make_network
+from repro.system.node_state import CacheNodeState, DirectoryNodeState
+from repro.system.executor import Observation, ProtocolRuntimeError
+from repro.system.system import (
+    DeliverMessage,
+    GlobalState,
+    IssueAccess,
+    StepOutcome,
+    System,
+    SystemEvent,
+    Workload,
+)
+
+__all__ = [
+    "DIRECTORY_ID",
+    "CacheNodeState",
+    "DeliverMessage",
+    "DirectoryNodeState",
+    "GlobalState",
+    "IssueAccess",
+    "Message",
+    "Network",
+    "Observation",
+    "OrderedNetwork",
+    "ProtocolRuntimeError",
+    "StepOutcome",
+    "System",
+    "SystemEvent",
+    "UnorderedNetwork",
+    "Workload",
+    "make_network",
+]

@@ -1,0 +1,150 @@
+"""Interconnection network models.
+
+Two models are provided, matching the two system models discussed in the
+paper:
+
+* :class:`OrderedNetwork` -- point-to-point ordering: messages between the
+  same (source, destination) pair are delivered in the order they were sent.
+  This is the assumption made by the bundled MSI / MESI / MOSI protocols.
+* :class:`UnorderedNetwork` -- no ordering at all: any in-flight message may
+  be delivered next.  Used by the MSI variant of Section VI-C.
+
+Both networks are immutable value objects: ``send`` and ``deliver`` return
+new network instances, so the model checker can hash and store them as part
+of a global state snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.system.message import Message, message_sort_key
+
+
+class Network:
+    """Interface shared by both network models."""
+
+    def send(self, *messages: Message) -> "Network":
+        raise NotImplementedError
+
+    def deliverable(self) -> tuple[Message, ...]:
+        """Messages that may be delivered next (one per ordered channel, or
+        every in-flight message for the unordered network)."""
+        raise NotImplementedError
+
+    def deliver(self, message: Message) -> "Network":
+        """Remove *message* (which must be deliverable) and return the new network."""
+        raise NotImplementedError
+
+    @property
+    def empty(self) -> bool:
+        raise NotImplementedError
+
+    def in_flight(self) -> tuple[Message, ...]:
+        raise NotImplementedError
+
+    @property
+    def ordered(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OrderedNetwork(Network):
+    """Per (source, destination, virtual network) FIFO channels.
+
+    Within a virtual network, ordering is enforced across *all* message
+    classes between a pair of nodes: forwards and responses share one
+    channel, so (for example) an Invalidation is never overtaken by a later
+    Put-Ack from the directory -- an ordering the textbook protocols rely on.
+    Requests travel on their own virtual network so a controller that stalls
+    a request never blocks a response queued behind it.
+    """
+
+    channels: tuple[tuple[tuple[int, int, int], tuple[Message, ...]], ...] = ()
+
+    def _as_dict(self) -> dict[tuple[int, int, int], tuple[Message, ...]]:
+        return {key: msgs for key, msgs in self.channels}
+
+    @staticmethod
+    def _from_dict(
+        channels: dict[tuple[int, int, int], tuple[Message, ...]]
+    ) -> "OrderedNetwork":
+        non_empty = {key: msgs for key, msgs in channels.items() if msgs}
+        return OrderedNetwork(channels=tuple(sorted(non_empty.items())))
+
+    def send(self, *messages: Message) -> "OrderedNetwork":
+        channels = self._as_dict()
+        for message in messages:
+            key = (message.src, message.dst, message.vnet)
+            channels[key] = channels.get(key, ()) + (message,)
+        return self._from_dict(channels)
+
+    def deliverable(self) -> tuple[Message, ...]:
+        return tuple(msgs[0] for _, msgs in self.channels if msgs)
+
+    def deliver(self, message: Message) -> "OrderedNetwork":
+        channels = self._as_dict()
+        key = (message.src, message.dst, message.vnet)
+        queue = channels.get(key, ())
+        if not queue or queue[0] != message:
+            raise ValueError(f"message {message} is not at the head of its channel")
+        channels[key] = queue[1:]
+        return self._from_dict(channels)
+
+    @property
+    def empty(self) -> bool:
+        return not self.channels
+
+    def in_flight(self) -> tuple[Message, ...]:
+        return tuple(m for _, msgs in self.channels for m in msgs)
+
+    @property
+    def ordered(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class UnorderedNetwork(Network):
+    """A bag of in-flight messages; any of them may be delivered next."""
+
+    messages: tuple[Message, ...] = ()
+
+    def send(self, *new_messages: Message) -> "UnorderedNetwork":
+        return UnorderedNetwork(
+            messages=tuple(
+                sorted(self.messages + tuple(new_messages), key=message_sort_key)
+            )
+        )
+
+    def deliverable(self) -> tuple[Message, ...]:
+        # Deduplicate identical messages: delivering either copy leads to the
+        # same successor state.
+        seen: list[Message] = []
+        for message in self.messages:
+            if message not in seen:
+                seen.append(message)
+        return tuple(seen)
+
+    def deliver(self, message: Message) -> "UnorderedNetwork":
+        messages = list(self.messages)
+        try:
+            messages.remove(message)
+        except ValueError:
+            raise ValueError(f"message {message} is not in flight") from None
+        return UnorderedNetwork(messages=tuple(messages))
+
+    @property
+    def empty(self) -> bool:
+        return not self.messages
+
+    def in_flight(self) -> tuple[Message, ...]:
+        return self.messages
+
+    @property
+    def ordered(self) -> bool:
+        return False
+
+
+def make_network(ordered: bool) -> Network:
+    """Create an empty network of the requested kind."""
+    return OrderedNetwork() if ordered else UnorderedNetwork()

@@ -1,0 +1,314 @@
+"""Whole-system model: N caches + directory + interconnect for one block.
+
+The :class:`System` assembles a generated protocol into an executable model
+that the model checker (:mod:`repro.verification`) explores exhaustively and
+the random-walk simulator samples.  The model is deliberately the same kind
+of model the paper verifies with Murphi: a small number of caches, a single
+cache block, non-deterministic core accesses bounded per cache, and
+non-deterministic message delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.core.fsm import AccessEvent, GeneratedProtocol, MessageEvent
+from repro.dsl.types import AccessKind, Permission
+from repro.system.executor import (
+    Observation,
+    ProtocolRuntimeError,
+    execute_cache_transition,
+    execute_directory_transition,
+    select_transition,
+)
+from repro.system.message import DIRECTORY_ID, Message
+from repro.system.network import Network, make_network
+from repro.system.node_state import CacheNodeState, DirectoryNodeState
+
+
+# ---------------------------------------------------------------------------
+# Global state and events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """One hashable snapshot of the whole system."""
+
+    caches: tuple[CacheNodeState, ...]
+    directory: DirectoryNodeState
+    network: Network
+    latest_version: int = 0
+
+
+@dataclass(frozen=True)
+class SystemEvent:
+    """Base class of the two kinds of non-deterministic events."""
+
+
+@dataclass(frozen=True)
+class IssueAccess(SystemEvent):
+    cache_id: int
+    access: AccessKind
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"C{self.cache_id}: {self.access}"
+
+
+@dataclass(frozen=True)
+class DeliverMessage(SystemEvent):
+    message: Message
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"deliver {self.message}"
+
+
+@dataclass
+class StepOutcome:
+    """Result of applying one event to a global state."""
+
+    state: GlobalState
+    observations: tuple[Observation, ...] = ()
+    error: str | None = None
+
+
+# ---------------------------------------------------------------------------
+# Workload description
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Bounded non-deterministic workload: each cache may issue up to
+    ``max_accesses_per_cache`` accesses, each chosen from ``access_kinds``."""
+
+    max_accesses_per_cache: int = 2
+    access_kinds: tuple[AccessKind, ...] = (
+        AccessKind.LOAD,
+        AccessKind.STORE,
+        AccessKind.REPLACEMENT,
+    )
+
+
+class System:
+    """Executable model of a generated protocol."""
+
+    def __init__(
+        self,
+        protocol: GeneratedProtocol,
+        num_caches: int = 2,
+        *,
+        workload: Workload | None = None,
+        ordered: bool | None = None,
+    ):
+        if num_caches < 1:
+            raise ValueError("need at least one cache")
+        self.protocol = protocol
+        self.num_caches = num_caches
+        self.workload = workload or Workload()
+        if ordered is None:
+            ordered = getattr(protocol.source_spec, "ordered_network", True)
+        self.ordered = ordered
+        try:
+            self._request_names = {m.name for m in protocol.messages.requests}
+        except AttributeError:  # pragma: no cover - untyped message catalogs
+            self._request_names = set()
+
+    def _tag(self, sends: tuple[Message, ...]) -> tuple[Message, ...]:
+        """Assign each outgoing message to its virtual network (0 = requests)."""
+        return tuple(
+            replace(m, vnet=0 if m.mtype in self._request_names else 1) for m in sends
+        )
+
+    # -- construction ---------------------------------------------------------
+    def initial_state(self) -> GlobalState:
+        caches = tuple(
+            CacheNodeState(fsm_state=self.protocol.cache.initial_state)
+            for _ in range(self.num_caches)
+        )
+        directory = DirectoryNodeState(fsm_state=self.protocol.directory.initial_state)
+        return GlobalState(
+            caches=caches,
+            directory=directory,
+            network=make_network(self.ordered),
+            latest_version=0,
+        )
+
+    # -- event enumeration ------------------------------------------------------
+    def enabled_events(self, state: GlobalState) -> list[SystemEvent]:
+        events: list[SystemEvent] = []
+        events.extend(self._access_events(state))
+        events.extend(self._delivery_events(state))
+        return events
+
+    def _access_events(self, state: GlobalState) -> Iterable[SystemEvent]:
+        fsm = self.protocol.cache
+        for cache_id, cache in enumerate(state.caches):
+            if cache.issued >= self.workload.max_accesses_per_cache:
+                continue
+            if not fsm.state(cache.fsm_state).is_stable:
+                # One outstanding transaction per block and per cache.
+                continue
+            for access in self.workload.access_kinds:
+                transition = select_transition(
+                    fsm, cache.fsm_state, AccessEvent(access), message=None, cache=cache
+                )
+                if transition is None or transition.stall:
+                    continue
+                yield IssueAccess(cache_id=cache_id, access=access)
+
+    def _delivery_events(self, state: GlobalState) -> Iterable[SystemEvent]:
+        for message in state.network.deliverable():
+            if self._delivery_enabled(state, message):
+                yield DeliverMessage(message=message)
+
+    def _delivery_enabled(self, state: GlobalState, message: Message) -> bool:
+        """A delivery is enabled unless the receiving controller stalls it.
+
+        A message the receiver has *no* entry for at all is still enabled:
+        applying it produces an error outcome that the model checker reports
+        as a protocol bug (this mirrors Murphi's "unexpected message" error).
+        """
+        try:
+            transition, _ = self._transition_for_message(state, message)
+        except ProtocolRuntimeError:
+            return True
+        if transition is None:
+            return True
+        return not transition.stall
+
+    def _transition_for_message(self, state: GlobalState, message: Message):
+        if message.dst == DIRECTORY_ID:
+            fsm = self.protocol.directory
+            node = state.directory
+            transition = select_transition(
+                fsm, node.fsm_state, MessageEvent(message.mtype),
+                message=message, directory=node,
+            )
+            return transition, node
+        fsm = self.protocol.cache
+        node = state.caches[message.dst]
+        transition = select_transition(
+            fsm, node.fsm_state, MessageEvent(message.mtype),
+            message=message, cache=node,
+        )
+        return transition, node
+
+    # -- event application -------------------------------------------------------
+    def apply(self, state: GlobalState, event: SystemEvent) -> StepOutcome:
+        if isinstance(event, IssueAccess):
+            return self._apply_access(state, event)
+        if isinstance(event, DeliverMessage):
+            return self._apply_delivery(state, event)
+        raise TypeError(f"unknown event {event!r}")
+
+    def _apply_access(self, state: GlobalState, event: IssueAccess) -> StepOutcome:
+        fsm = self.protocol.cache
+        cache = state.caches[event.cache_id]
+        transition = select_transition(
+            fsm, cache.fsm_state, AccessEvent(event.access), message=None, cache=cache
+        )
+        if transition is None or transition.stall:
+            return StepOutcome(state=state, error=f"access {event} issued while not enabled")
+        issuing = replace(cache, pending_access=event.access, issued=cache.issued + 1)
+        result = execute_cache_transition(
+            transition,
+            issuing,
+            event.cache_id,
+            message=None,
+            access=event.access,
+            latest_version=state.latest_version,
+        )
+        if result.error:
+            return StepOutcome(state=state, error=result.error)
+        caches = list(state.caches)
+        caches[event.cache_id] = result.node
+        new_state = GlobalState(
+            caches=tuple(caches),
+            directory=state.directory,
+            network=state.network.send(*self._tag(result.sends)),
+            latest_version=result.latest_version,
+        )
+        return StepOutcome(state=new_state, observations=result.observations)
+
+    def _apply_delivery(self, state: GlobalState, event: DeliverMessage) -> StepOutcome:
+        message = event.message
+        try:
+            transition, node = self._transition_for_message(state, message)
+        except ProtocolRuntimeError as exc:
+            return StepOutcome(state=state, error=str(exc))
+        if transition is None:
+            receiver = "directory" if message.dst == DIRECTORY_ID else f"cache {message.dst}"
+            holder_state = node.fsm_state
+            return StepOutcome(
+                state=state,
+                error=f"{receiver} in state {holder_state!r} cannot handle message {message}",
+            )
+        if transition.stall:
+            return StepOutcome(state=state, error=f"stalled message {message} was delivered")
+
+        network = state.network.deliver(message)
+        if message.dst == DIRECTORY_ID:
+            result = execute_directory_transition(transition, state.directory, message=message)
+            if result.error:
+                return StepOutcome(state=state, error=result.error)
+            new_state = GlobalState(
+                caches=state.caches,
+                directory=result.node,
+                network=network.send(*self._tag(result.sends)),
+                latest_version=state.latest_version,
+            )
+            return StepOutcome(state=new_state, observations=result.observations)
+
+        try:
+            result = execute_cache_transition(
+                transition,
+                state.caches[message.dst],
+                message.dst,
+                message=message,
+                access=None,
+                latest_version=state.latest_version,
+            )
+        except ProtocolRuntimeError as exc:
+            return StepOutcome(state=state, error=str(exc))
+        if result.error:
+            return StepOutcome(state=state, error=result.error)
+        caches = list(state.caches)
+        caches[message.dst] = result.node
+        new_state = GlobalState(
+            caches=tuple(caches),
+            directory=state.directory,
+            network=network.send(*self._tag(result.sends)),
+            latest_version=result.latest_version,
+        )
+        return StepOutcome(state=new_state, observations=result.observations)
+
+    # -- predicates ----------------------------------------------------------------
+    def is_quiescent(self, state: GlobalState) -> bool:
+        """True when nothing is in flight and every controller is in a stable state."""
+        if not state.network.empty:
+            return False
+        if not self.protocol.directory.state(state.directory.fsm_state).is_stable:
+            return False
+        return all(
+            self.protocol.cache.state(c.fsm_state).is_stable for c in state.caches
+        )
+
+    def is_complete(self, state: GlobalState) -> bool:
+        """Quiescent and every cache has exhausted its workload."""
+        return self.is_quiescent(state) and all(
+            c.issued >= self.workload.max_accesses_per_cache for c in state.caches
+        )
+
+    def writers_and_readers(self, state: GlobalState) -> tuple[list[int], list[int]]:
+        """Cache IDs currently holding write / read permission (for SWMR)."""
+        writers: list[int] = []
+        readers: list[int] = []
+        for cache_id, cache in enumerate(state.caches):
+            permission = self.protocol.cache.state(cache.fsm_state).permission
+            if permission is Permission.READ_WRITE:
+                writers.append(cache_id)
+            elif permission is Permission.READ:
+                readers.append(cache_id)
+        return writers, readers

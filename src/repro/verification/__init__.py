@@ -1,0 +1,30 @@
+"""Verification layer: explicit-state model checking and random simulation.
+
+This is the reproduction's replacement for the Murphi model checker used in
+the paper: :func:`repro.verification.verify` enumerates the reachable state
+space of a generated protocol (N caches, one block, bounded non-deterministic
+workload, non-deterministic message delivery) and checks SWMR, the data-value
+invariant (enforced inside the execution substrate) and deadlock freedom.
+"""
+
+from repro.verification.explorer import VerificationResult, verify
+from repro.verification.invariants import (
+    Invariant,
+    InvariantViolation,
+    default_invariants,
+    single_owner_invariant,
+    swmr_invariant,
+)
+from repro.verification.random_walk import RandomWalkResult, random_walk
+
+__all__ = [
+    "Invariant",
+    "InvariantViolation",
+    "RandomWalkResult",
+    "VerificationResult",
+    "default_invariants",
+    "random_walk",
+    "single_owner_invariant",
+    "swmr_invariant",
+    "verify",
+]

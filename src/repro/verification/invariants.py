@@ -1,0 +1,78 @@
+"""Safety invariants checked over every reachable state.
+
+The paper verifies its generated protocols with the Murphi model checker for
+SWMR and deadlock freedom; the data-value invariant is folded into the
+execution substrate (stores must build on the latest written version, loads
+must never go backwards).  This module contains the per-state predicates the
+explorer evaluates:
+
+* **SWMR** -- at most one cache with write permission, and no readers while a
+  writer exists.  Permissions are the ones the generator assigned in Step 4,
+  so transient states with deferred ownership count conservatively.
+* **Directory consistency** -- sanity conditions tying the directory's
+  auxiliary state to its coherence state (an owner exists when the directory
+  believes the block is owned, the sharer list is empty when it believes the
+  block is uncached, ...).  These are optional, protocol-specific checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.system.system import GlobalState, System
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """A named invariant that failed in a particular state."""
+
+    name: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: {self.detail}"
+
+
+Invariant = Callable[[System, GlobalState], InvariantViolation | None]
+
+
+def swmr_invariant(system: System, state: GlobalState) -> InvariantViolation | None:
+    """Single-Writer / Multiple-Reader over the generated permission map."""
+    writers, readers = system.writers_and_readers(state)
+    if len(writers) > 1:
+        return InvariantViolation(
+            name="SWMR",
+            detail=f"caches {writers} hold write permission simultaneously",
+        )
+    if writers and readers:
+        return InvariantViolation(
+            name="SWMR",
+            detail=f"cache {writers[0]} holds write permission while caches {readers} can read",
+        )
+    return None
+
+
+def single_owner_invariant(system: System, state: GlobalState) -> InvariantViolation | None:
+    """No two caches may simultaneously sit in a stable MODIFIED-like state.
+
+    This is a stricter structural variant of SWMR that does not depend on the
+    permission assignment; it only looks at stable states.
+    """
+    fsm = system.protocol.cache
+    stable_writers = [
+        cache_id
+        for cache_id, cache in enumerate(state.caches)
+        if fsm.state(cache.fsm_state).is_stable
+        and fsm.state(cache.fsm_state).permission.name == "READ_WRITE"
+    ]
+    if len(stable_writers) > 1:
+        return InvariantViolation(
+            name="single-owner",
+            detail=f"caches {stable_writers} are simultaneously in a stable writable state",
+        )
+    return None
+
+
+def default_invariants() -> Sequence[Invariant]:
+    return (swmr_invariant, single_owner_invariant)

@@ -1,0 +1,107 @@
+"""Randomized deep simulation for configurations too large to explore exhaustively.
+
+Exhaustive exploration in pure Python becomes expensive beyond two or three
+caches.  :func:`random_walk` complements it: it runs many random schedules
+(random choice among the enabled events at every step) and checks the same
+invariants along the way.  It cannot prove absence of bugs, but it routinely
+finds the same classes of races the exhaustive search finds, and it scales to
+more caches and longer workloads.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.system.system import System
+from repro.verification.invariants import Invariant, InvariantViolation, default_invariants
+
+
+@dataclass
+class RandomWalkResult:
+    ok: bool
+    runs: int
+    steps: int
+    elapsed_seconds: float
+    violation: InvariantViolation | None = None
+    error: str | None = None
+    deadlock: bool = False
+    trace: list[str] = field(default_factory=list)
+
+    @property
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        detail = ""
+        if self.violation:
+            detail = f" [{self.violation}]"
+        elif self.error:
+            detail = f" [{self.error}]"
+        elif self.deadlock:
+            detail = " [deadlock]"
+        return f"{status}: {self.runs} runs, {self.steps} steps, {self.elapsed_seconds:.2f}s{detail}"
+
+
+def random_walk(
+    system: System,
+    *,
+    runs: int = 100,
+    max_steps: int = 400,
+    seed: int = 0,
+    invariants: Sequence[Invariant] | None = None,
+) -> RandomWalkResult:
+    """Run *runs* random schedules of up to *max_steps* events each."""
+    invariants = tuple(invariants) if invariants is not None else tuple(default_invariants())
+    rng = random.Random(seed)
+    start = time.perf_counter()
+    total_steps = 0
+
+    for run in range(runs):
+        state = system.initial_state()
+        trace: list[str] = []
+        for _ in range(max_steps):
+            events = system.enabled_events(state)
+            if not events:
+                if not system.is_quiescent(state):
+                    return RandomWalkResult(
+                        ok=False,
+                        runs=run + 1,
+                        steps=total_steps,
+                        elapsed_seconds=time.perf_counter() - start,
+                        deadlock=True,
+                        trace=trace,
+                    )
+                break
+            event = rng.choice(events)
+            trace.append(str(event))
+            total_steps += 1
+            outcome = system.apply(state, event)
+            if outcome.error is not None:
+                return RandomWalkResult(
+                    ok=False,
+                    runs=run + 1,
+                    steps=total_steps,
+                    elapsed_seconds=time.perf_counter() - start,
+                    error=outcome.error,
+                    trace=trace,
+                )
+            state = outcome.state
+            for invariant in invariants:
+                violation = invariant(system, state)
+                if violation is not None:
+                    return RandomWalkResult(
+                        ok=False,
+                        runs=run + 1,
+                        steps=total_steps,
+                        elapsed_seconds=time.perf_counter() - start,
+                        violation=violation,
+                        trace=trace,
+                    )
+
+    return RandomWalkResult(
+        ok=True,
+        runs=runs,
+        steps=total_steps,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,86 @@
+"""Tests for the table, Murphi and dot backends."""
+
+import pytest
+
+from repro import protocols
+from repro.backends import emit_dot, emit_murphi, render_summary, render_table
+
+
+class TestTableBackend:
+    def test_every_state_has_a_row(self, msi_nonstalling):
+        table = render_table(msi_nonstalling.cache)
+        for state in msi_nonstalling.cache.state_names():
+            assert state in table
+
+    def test_key_columns_present(self, msi_nonstalling):
+        table = render_table(msi_nonstalling.cache)
+        for column in ("Load", "Store", "Replacement", "Fwd_GetS", "Inv", "Data"):
+            assert column in table
+
+    def test_stalls_rendered(self, msi_stalling):
+        assert "stall" in render_table(msi_stalling.cache)
+
+    def test_aliases_shown_as_merged_rows(self, msi_nonstalling):
+        table = render_table(msi_nonstalling.cache)
+        assert "IM_AD_I = SM_AD_I" in table
+
+    def test_markdown_mode(self, msi_nonstalling):
+        table = render_table(msi_nonstalling.cache, markdown=True)
+        assert table.startswith("| State |")
+        assert "| --- |" in table
+
+    def test_directory_table(self, msi_nonstalling):
+        table = render_table(msi_nonstalling.directory)
+        assert "S_D" in table and "GetM" in table
+
+    def test_summary(self, msi_nonstalling):
+        summary = render_summary(msi_nonstalling.cache)
+        assert "states" in summary and "stalls" in summary
+
+
+class TestMurphiBackend:
+    @pytest.fixture(scope="class")
+    def source(self, msi_nonstalling):
+        return emit_murphi(msi_nonstalling, num_caches=3)
+
+    def test_header_and_constants(self, source):
+        assert "NumCaches: 3" in source
+        assert "-- Murphi model for protocol MSI" in source
+
+    def test_all_states_declared(self, source, msi_nonstalling):
+        for state in msi_nonstalling.cache.state_names():
+            assert f"C_{state}" in source
+        for state in msi_nonstalling.directory.state_names():
+            assert f"D_{state}" in source
+
+    def test_all_messages_declared(self, source, msi_nonstalling):
+        for message in msi_nonstalling.messages.names():
+            assert f"Msg_{message}" in source
+
+    def test_one_rule_per_transition(self, source, msi_nonstalling):
+        expected = (
+            msi_nonstalling.cache.num_transitions
+            + msi_nonstalling.directory.num_transitions
+        )
+        assert source.count("endrule;") == expected
+
+    def test_invariants_emitted(self, source):
+        assert 'invariant "SWMR"' in source
+        assert 'invariant "DataValue"' in source
+
+    @pytest.mark.parametrize("name", protocols.available_protocols())
+    def test_emission_works_for_every_protocol(self, all_generated, name):
+        source = emit_murphi(all_generated[(name, "nonstalling")])
+        assert "endrule;" in source
+
+
+class TestDotBackend:
+    def test_states_and_edges_present(self, msi_nonstalling):
+        dot = emit_dot(msi_nonstalling.cache)
+        assert dot.startswith("digraph")
+        assert '"IM_AD" ->' in dot
+        assert '"M" [shape=doublecircle' in dot
+
+    def test_stalls_hidden_by_default(self, msi_stalling):
+        assert "stall" not in emit_dot(msi_stalling.cache)
+        assert "stall" in emit_dot(msi_stalling.cache, include_stalls=True)

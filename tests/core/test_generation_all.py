@@ -1,0 +1,165 @@
+"""Cross-protocol generation checks (MESI, MOSI, unordered MSI, TSO-CC)."""
+
+import pytest
+
+from repro import protocols
+from repro.core import ConcurrencyPolicy, GenerationConfig, generate
+from repro.core.fsm import MessageEvent, StateKind
+
+
+class TestEveryProtocolGenerates:
+    @pytest.mark.parametrize("name", protocols.available_protocols())
+    @pytest.mark.parametrize("config_label", ["nonstalling", "stalling"])
+    def test_generation_succeeds(self, all_generated, name, config_label):
+        generated = all_generated[(name, config_label)]
+        assert generated.cache.num_states >= len(generated.cache.stable_states())
+        assert generated.directory.num_states >= 1
+
+    @pytest.mark.parametrize("name", protocols.available_protocols())
+    def test_nonstalling_has_at_least_as_many_states(self, all_generated, name):
+        nonstalling = all_generated[(name, "nonstalling")]
+        stalling = all_generated[(name, "stalling")]
+        assert nonstalling.cache.num_states >= stalling.cache.num_states
+
+    @pytest.mark.parametrize("name", protocols.available_protocols())
+    def test_nonstalling_stalls_fewer_message_cells(self, all_generated, name):
+        nonstalling = all_generated[(name, "nonstalling")]
+        stalling = all_generated[(name, "stalling")]
+
+        def message_stalls(fsm):
+            return sum(
+                1 for t in fsm.transitions()
+                if t.stall and isinstance(t.event, MessageEvent)
+            )
+
+        # The non-stalling configuration may still stall beyond the pending
+        # transaction limit L, but never more than the stalling configuration.
+        assert message_stalls(nonstalling.cache) < message_stalls(stalling.cache)
+
+    def test_nonstalling_msi_never_stalls_messages(self, all_generated):
+        cache = all_generated[("MSI", "nonstalling")].cache
+        assert not any(
+            t.stall for t in cache.transitions() if isinstance(t.event, MessageEvent)
+        )
+
+    @pytest.mark.parametrize("name", protocols.available_protocols())
+    def test_every_transition_targets_known_state(self, all_generated, name):
+        generated = all_generated[(name, "nonstalling")]
+        for fsm in (generated.cache, generated.directory):
+            names = set(fsm.state_names())
+            for transition in fsm.transitions():
+                assert transition.next_state in names
+
+    @pytest.mark.parametrize("name", protocols.available_protocols())
+    def test_every_transient_state_is_reachable(self, all_generated, name):
+        generated = all_generated[(name, "nonstalling")]
+        cache = generated.cache
+        targets = {t.next_state for t in cache.transitions() if not t.stall}
+        for state in cache.transient_states():
+            assert state.name in targets, f"{state.name} unreachable"
+
+    @pytest.mark.parametrize("name", protocols.available_protocols())
+    def test_state_set_membership_only_names_stable_states(self, all_generated, name):
+        generated = all_generated[(name, "nonstalling")]
+        stable = {s.name for s in generated.cache.stable_states()}
+        for state in generated.cache.states():
+            assert set(state.state_sets) <= stable
+
+
+class TestMesiSpecifics:
+    def test_exclusive_state_generated(self, mesi_nonstalling):
+        cache = mesi_nonstalling.cache
+        assert cache.has_state("E")
+        # Silent E->M upgrade on a store.
+        from repro.core.fsm import AccessEvent
+        from repro.dsl.types import AccessKind
+
+        [transition] = cache.candidates("E", AccessEvent(AccessKind.STORE))
+        assert transition.next_state == "M"
+        assert not transition.stall
+
+    def test_i_to_s_or_e_transient_accepts_both_responses(self, mesi_nonstalling):
+        cache = mesi_nonstalling.cache
+        load_transients = [
+            s.name for s in cache.transient_states()
+            if s.meta.get("start") == "I" and s.meta.get("stage") == "D"
+            and not s.meta.get("chain")
+        ]
+        assert load_transients
+        state = load_transients[0]
+        assert cache.candidates(state, MessageEvent("Data"))
+        assert cache.candidates(state, MessageEvent("Data_E"))
+
+    def test_fwd_gets_handled_in_exclusive_chain_states(self, mesi_nonstalling):
+        cache = mesi_nonstalling.cache
+        # A cache waiting for its exclusive data can already observe a
+        # forwarded GetS for the block (the directory granted E and then
+        # served another reader); it must not be an unexpected message.
+        load_transients = [
+            s.name for s in cache.transient_states()
+            if s.meta.get("start") == "I" and s.meta.get("stage") == "D"
+            and not s.meta.get("chain")
+        ]
+        assert cache.candidates(load_transients[0], MessageEvent("Fwd_GetS"))
+
+
+class TestMosiSpecifics:
+    def test_renamed_forwards_present_in_generated_protocol(self, mosi_nonstalling):
+        cache_messages = {
+            t.event.message
+            for t in mosi_nonstalling.cache.transitions()
+            if isinstance(t.event, MessageEvent)
+        }
+        assert {"Fwd_GetS", "O_Fwd_GetS", "Fwd_GetM", "O_Fwd_GetM"} <= cache_messages
+
+    def test_renamings_reported(self, mosi_nonstalling):
+        assert mosi_nonstalling.renamings == {
+            "Fwd_GetS": ["Fwd_GetS", "O_Fwd_GetS"],
+            "Fwd_GetM": ["Fwd_GetM", "O_Fwd_GetM"],
+        }
+
+    def test_owner_keeps_block_on_o_fwd_gets(self, mosi_nonstalling):
+        cache = mosi_nonstalling.cache
+        [transition] = cache.candidates("O", MessageEvent("O_Fwd_GetS"))
+        assert transition.next_state == "O"
+
+
+class TestTsoCcSpecifics:
+    def test_no_invalidation_message_anywhere(self, all_generated):
+        generated = all_generated[("TSO-CC", "nonstalling")]
+        for fsm in (generated.cache, generated.directory):
+            for transition in fsm.transitions():
+                if isinstance(transition.event, MessageEvent):
+                    assert "Inv" not in transition.event.message
+
+    def test_directory_has_no_sharer_state(self, all_generated):
+        generated = all_generated[("TSO-CC", "nonstalling")]
+        assert "S" not in generated.directory.state_names()
+
+
+class TestConfigurationKnobs:
+    def test_policy_constructors(self):
+        assert GenerationConfig.stalling().policy is ConcurrencyPolicy.STALLING
+        assert GenerationConfig.nonstalling().policy is ConcurrencyPolicy.NONSTALLING_IMMEDIATE
+        assert (
+            GenerationConfig.nonstalling(immediate=False).policy
+            is ConcurrencyPolicy.NONSTALLING_DEFERRED
+        )
+
+    def test_deferred_policy_defers_all_responses(self, msi_spec):
+        generated = generate(msi_spec, GenerationConfig.nonstalling(immediate=False))
+        cache = generated.cache
+        from repro.dsl.types import Send
+
+        [transition] = cache.candidates("IS_D", MessageEvent("Inv"))
+        # Under the deferred policy even the Inv-Ack is postponed to completion.
+        assert not any(isinstance(a, Send) for a in transition.actions)
+
+    def test_disable_merging_keeps_duplicate_states(self, msi_spec):
+        merged = generate(msi_spec, GenerationConfig())
+        unmerged = generate(msi_spec, GenerationConfig(merge_equivalent_states=False))
+        assert unmerged.cache.num_states >= merged.cache.num_states
+
+    def test_generation_without_validation(self, msi_spec):
+        generated = generate(msi_spec, validate=False)
+        assert generated.cache.num_states > 0

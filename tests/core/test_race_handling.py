@@ -1,0 +1,140 @@
+"""Targeted checks of how the generated controllers resolve specific races.
+
+Each test pins the generated behaviour for one concrete race that the paper's
+machinery must get right (writeback vs. forward, owner downgrade vs. upgrade,
+eviction vs. invalidation, ...).  They complement the exhaustive model
+checking: when one of these regresses, the failure points directly at the
+transition instead of at a long counterexample trace.
+"""
+
+import pytest
+
+from repro.core.fsm import MessageEvent
+from repro.dsl.types import Dest, Send
+
+
+def _single(fsm, state, message):
+    candidates = fsm.candidates(state, MessageEvent(message))
+    assert len(candidates) == 1, f"expected one transition for {message} in {state}"
+    return candidates[0]
+
+
+class TestMsiWritebackRaces:
+    """The owner evicts (PutM in flight) while the directory forwards requests to it."""
+
+    def test_forwarded_gets_during_writeback(self, msi_nonstalling):
+        cache = msi_nonstalling.cache
+        transition = _single(cache, "MI_A", "Fwd_GetS")
+        # The owner must supply data to both the reader and the directory and
+        # then wait out its stale PutM as if it were evicting from S.
+        sends = [a for a in transition.actions if isinstance(a, Send)]
+        assert {s.to for s in sends} == {Dest.REQUESTOR, Dest.DIRECTORY}
+        assert transition.next_state == "SI_A"
+
+    def test_forwarded_getm_during_writeback(self, msi_nonstalling):
+        cache = msi_nonstalling.cache
+        transition = _single(cache, "MI_A", "Fwd_GetM")
+        assert transition.next_state == "II_A"
+        [send] = [a for a in transition.actions if isinstance(a, Send)]
+        assert send.to is Dest.REQUESTOR and send.with_data
+
+    def test_invalidation_during_puts(self, msi_nonstalling):
+        cache = msi_nonstalling.cache
+        transition = _single(cache, "SI_A", "Inv")
+        assert transition.next_state == "II_A"
+        assert any(
+            isinstance(a, Send) and a.message == "Inv_Ack" for a in transition.actions
+        )
+
+    def test_stale_wait_state_completes_to_invalid(self, msi_nonstalling):
+        cache = msi_nonstalling.cache
+        transition = _single(cache, "II_A", "Put_Ack")
+        assert transition.next_state == "I"
+
+
+class TestMesiExclusiveRaces:
+    def test_eviction_from_exclusive_vs_forwarded_gets(self, mesi_nonstalling):
+        cache = mesi_nonstalling.cache
+        # EI_A: PutE in flight; a forwarded GetS arrives because the directory
+        # still believes this cache is the exclusive owner.
+        ei_states = [
+            s.name for s in cache.transient_states()
+            if s.meta.get("start") == "E" and s.meta.get("final") == "I"
+            and not s.meta.get("chain") and not s.meta.get("stale")
+        ]
+        assert ei_states, "expected the E->I eviction transient"
+        transition = _single(cache, ei_states[0], "Fwd_GetS")
+        assert transition.next_state.startswith("SI_") or transition.next_state.startswith("S")
+
+    def test_exclusive_grant_chased_by_forward(self, mesi_nonstalling):
+        cache = mesi_nonstalling.cache
+        load_transients = [
+            s.name for s in cache.transient_states()
+            if s.meta.get("start") == "I" and s.meta.get("stage") == "D"
+            and not s.meta.get("chain")
+        ]
+        transition = _single(cache, load_transients[0], "Fwd_GetM")
+        # The forward is ordered after the exclusive grant: absorb it and
+        # defer the data until the own transaction completes.
+        assert not transition.stall
+        target_state = cache.state(transition.next_state)
+        assert target_state.state_sets == frozenset({"I"})
+
+
+class TestMosiOwnerRaces:
+    def test_owner_upgrade_vs_forwarded_gets(self, mosi_nonstalling):
+        cache = mosi_nonstalling.cache
+        om_states = [
+            s.name for s in cache.transient_states()
+            if s.meta.get("start") == "O" and s.meta.get("final") == "M"
+            and not s.meta.get("chain") and not s.meta.get("stale")
+            and s.meta.get("stage") == "AC"
+        ]
+        assert om_states, "expected the O->M upgrade transient"
+        transition = _single(cache, om_states[0], "O_Fwd_GetS")
+        # Earlier-ordered reader: supply data immediately and keep upgrading.
+        assert transition.next_state == om_states[0]
+        assert any(isinstance(a, Send) and a.with_data for a in transition.actions)
+
+    def test_owner_upgrade_loses_to_other_writer(self, mosi_nonstalling):
+        cache = mosi_nonstalling.cache
+        om_states = [
+            s.name for s in cache.transient_states()
+            if s.meta.get("start") == "O" and s.meta.get("final") == "M"
+            and not s.meta.get("chain") and not s.meta.get("stale")
+            and s.meta.get("stage") == "AC"
+        ]
+        transition = _single(cache, om_states[0], "O_Fwd_GetM")
+        # The other writer was ordered first: return the dirty data to the
+        # directory and restart the store as if from I.
+        [send] = [a for a in transition.actions if isinstance(a, Send)]
+        assert send.to is Dest.DIRECTORY and send.with_data
+        target = cache.state(transition.next_state)
+        assert target.meta.get("start") == "I" and target.meta.get("final") == "M"
+
+    def test_owner_eviction_vs_forwarded_gets(self, mosi_nonstalling):
+        cache = mosi_nonstalling.cache
+        oi_states = [
+            s.name for s in cache.transient_states()
+            if s.meta.get("start") == "O" and s.meta.get("final") == "I"
+            and not s.meta.get("chain") and not s.meta.get("stale")
+        ]
+        assert oi_states
+        transition = _single(cache, oi_states[0], "O_Fwd_GetS")
+        # The owner still owes the reader data even though it is evicting.
+        assert any(isinstance(a, Send) and a.with_data for a in transition.actions)
+
+
+class TestUpgradeRace:
+    def test_losing_upgrade_expects_data_instead_of_ack_count(self, all_generated):
+        cache = all_generated[("MSI-Upgrade", "nonstalling")].cache
+        # After the Case-1 restart the cache sits in IM_AD and must accept a
+        # Data response (the directory reinterprets its Upgrade as a GetM).
+        assert cache.candidates("IM_AD", MessageEvent("Data"))
+        # The winning-upgrade path still accepts the AckCount response.
+        upgrade_transients = [
+            s.name for s in cache.transient_states()
+            if s.meta.get("start") == "S" and s.meta.get("stage") == "AC"
+            and not s.meta.get("chain")
+        ]
+        assert cache.candidates(upgrade_transients[0], MessageEvent("AckCount"))

@@ -1,0 +1,154 @@
+"""Unit tests for the fluent SSP builders."""
+
+import pytest
+
+from repro.dsl.builder import CacheSpecBuilder, DirectorySpecBuilder, ProtocolBuilder
+from repro.dsl.errors import SpecError
+from repro.dsl.types import AccessKind, ControllerKind, Dest, Permission, Send
+
+
+def _minimal_cache():
+    cache = CacheSpecBuilder(initial="I")
+    cache.state("I", Permission.NONE)
+    cache.state("S", Permission.READ)
+    cache.state("M", Permission.READ_WRITE)
+    return cache
+
+
+class TestStateDeclarations:
+    def test_duplicate_state_rejected(self):
+        cache = _minimal_cache()
+        with pytest.raises(SpecError, match="duplicate state"):
+            cache.state("I")
+
+    def test_unknown_initial_state_rejected(self):
+        cache = CacheSpecBuilder(initial="X")
+        cache.state("I")
+        with pytest.raises(SpecError, match="initial state"):
+            cache.build()
+
+    def test_kind_is_set(self):
+        assert _minimal_cache().build().kind is ControllerKind.CACHE
+        directory = DirectorySpecBuilder(initial="I")
+        directory.state("I")
+        assert directory.build().kind is ControllerKind.DIRECTORY
+
+
+class TestTransactionBuilder:
+    def test_simple_transaction(self):
+        cache = _minimal_cache()
+        (
+            cache.on_access("I", AccessKind.LOAD)
+            .request("GetS")
+            .await_stage("D")
+            .when("Data", receives_data=True).complete("S")
+            .done()
+        )
+        spec = cache.build()
+        transaction = spec.transaction_for("I", AccessKind.LOAD)
+        assert transaction.request.message == "GetS"
+        assert transaction.final_state == "S"
+        assert transaction.stages[0].name == "D"
+        assert transaction.stages[0].triggers[0].receives_data
+
+    def test_when_before_await_stage_rejected(self):
+        cache = _minimal_cache()
+        builder = cache.on_access("I", AccessKind.LOAD).request("GetS")
+        with pytest.raises(SpecError, match="await_stage"):
+            builder.when("Data")
+
+    def test_duplicate_stage_rejected(self):
+        cache = _minimal_cache()
+        builder = cache.on_access("I", AccessKind.LOAD).request("GetS").await_stage("D")
+        with pytest.raises(SpecError, match="duplicate stage"):
+            builder.await_stage("D")
+
+    def test_missing_final_state_rejected(self):
+        cache = _minimal_cache()
+        builder = (
+            cache.on_access("I", AccessKind.LOAD)
+            .request("GetS")
+            .await_stage("D")
+            .when("Data").goto_stage("D")
+        )
+        with pytest.raises(SpecError, match="no final state"):
+            builder.done()
+
+    def test_silent_transaction_with_completes_to(self):
+        cache = _minimal_cache()
+        cache.on_access("M", AccessKind.STORE).completes_to("M").done()
+        transaction = cache.build().transaction_for("M", AccessKind.STORE)
+        assert transaction.is_silent
+        assert transaction.final_state == "M"
+
+    def test_stay_loops_back_to_current_stage(self):
+        cache = _minimal_cache()
+        (
+            cache.on_access("I", AccessKind.STORE)
+            .request("GetM")
+            .await_stage("AD")
+            .when("Data", receives_data=True).complete("M")
+            .when("Inv_Ack", counts_ack=True).stay()
+            .done()
+        )
+        transaction = cache.build().transaction_for("I", AccessKind.STORE)
+        inv_ack = [t for t in transaction.stages[0].triggers if t.message == "Inv_Ack"][0]
+        assert inv_ack.next_stage == "AD"
+
+    def test_unknown_state_reference_rejected(self):
+        cache = _minimal_cache()
+        with pytest.raises(SpecError, match="unknown state"):
+            cache.on_access("Z", AccessKind.LOAD)
+
+    def test_multiple_final_states_infer_least_permission(self):
+        cache = CacheSpecBuilder(initial="I")
+        cache.state("I", Permission.NONE)
+        cache.state("S", Permission.READ)
+        cache.state("E", Permission.READ_WRITE)
+        (
+            cache.on_access("I", AccessKind.LOAD)
+            .request("GetS")
+            .await_stage("D")
+            .when("Data", receives_data=True).complete("S")
+            .when("Data_E", receives_data=True).complete("E")
+            .done()
+        )
+        transaction = cache.build().transaction_for("I", AccessKind.LOAD)
+        assert transaction.final_state == "S"
+
+
+class TestReactions:
+    def test_react_registers_reaction(self):
+        cache = _minimal_cache()
+        cache.react("S", "Inv", "I", Send("Inv_Ack", Dest.REQUESTOR))
+        spec = cache.build()
+        [reaction] = spec.reactions_for("S", "Inv")
+        assert reaction.next_state == "I"
+        assert reaction.actions[0].message == "Inv_Ack"
+
+    def test_react_unknown_state_rejected(self):
+        cache = _minimal_cache()
+        with pytest.raises(SpecError, match="unknown state"):
+            cache.react("Z", "Inv", "I")
+
+
+class TestProtocolBuilder:
+    def test_message_declarations(self):
+        protocol = ProtocolBuilder("Test")
+        protocol.request("GetS")
+        protocol.forward("Inv")
+        protocol.response("Data", carries_data=True)
+        assert "GetS" in protocol.messages
+        assert protocol.messages["Data"].carries_data
+
+    def test_build_assembles_protocol_spec(self):
+        protocol = ProtocolBuilder("Test", ordered_network=False, description="d")
+        protocol.request("GetS")
+        protocol.response("Data", carries_data=True)
+        cache = _minimal_cache()
+        directory = DirectorySpecBuilder(initial="I")
+        directory.state("I")
+        spec = protocol.build(cache, directory)
+        assert spec.name == "Test"
+        assert spec.ordered_network is False
+        assert spec.cache.kind is ControllerKind.CACHE

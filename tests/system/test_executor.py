@@ -1,0 +1,242 @@
+"""Unit tests for FSM interpretation: guards, sends, access semantics."""
+
+import pytest
+
+from repro.core.fsm import FsmTransition, MessageEvent
+from repro.dsl.types import (
+    AccessKind,
+    AddRequestorToSharers,
+    ClearSharers,
+    CopyDataFromMessage,
+    Dest,
+    IncrementAcksReceived,
+    PerformAccess,
+    ResetAckCounters,
+    SaveRequestor,
+    Send,
+    SetAcksExpectedFromMessage,
+)
+from repro.system.executor import (
+    ProtocolRuntimeError,
+    execute_cache_transition,
+    execute_directory_transition,
+    select_transition,
+)
+from repro.system.message import DIRECTORY_ID, Message
+from repro.system.node_state import CacheNodeState, DirectoryNodeState
+
+
+def _transition(actions=(), next_state="X", stall=False, guard=None):
+    return FsmTransition(
+        state="S0", event=MessageEvent("Data", guard), actions=tuple(actions),
+        next_state=next_state, stall=stall,
+    )
+
+
+class TestGuardEvaluation:
+    def _select(self, fsm_like_cache, message, cache):
+        # Use select_transition indirectly through guard evaluation by building
+        # a tiny FSM on the fly.
+        from repro.core.fsm import ControllerFsm, FsmState, StateKind
+        from repro.dsl.types import ControllerKind, Permission
+
+        fsm = ControllerFsm("t", ControllerKind.CACHE, "S0")
+        fsm.add_state(FsmState("S0", StateKind.TRANSIENT, Permission.NONE))
+        fsm.add_state(FsmState("X", StateKind.STABLE, Permission.NONE))
+        for t in fsm_like_cache:
+            fsm.add_transition(t)
+        return select_transition(fsm, "S0", MessageEvent("Data"), message=message, cache=cache)
+
+    def test_ack_count_zero_accounts_for_early_acks(self):
+        zero = _transition(next_state="X", guard="ack_count_zero")
+        nonzero = _transition(next_state="S0", guard="ack_count_nonzero")
+        cache = CacheNodeState(fsm_state="S0", acks_received=2)
+        message = Message("Data", src=DIRECTORY_ID, dst=0, ack_count=2)
+        chosen = self._select([zero, nonzero], message, cache)
+        assert chosen.event.guard == "ack_count_zero"
+
+    def test_ack_count_nonzero_when_acks_outstanding(self):
+        zero = _transition(next_state="X", guard="ack_count_zero")
+        nonzero = _transition(next_state="S0", guard="ack_count_nonzero")
+        cache = CacheNodeState(fsm_state="S0", acks_received=0)
+        message = Message("Data", src=DIRECTORY_ID, dst=0, ack_count=1)
+        chosen = self._select([zero, nonzero], message, cache)
+        assert chosen.event.guard == "ack_count_nonzero"
+
+    def test_guarded_transition_preferred_over_unguarded(self):
+        unguarded = _transition(next_state="S0")
+        guarded = _transition(next_state="X", guard="ack_count_zero")
+        cache = CacheNodeState(fsm_state="S0")
+        message = Message("Data", src=DIRECTORY_ID, dst=0, ack_count=0)
+        chosen = self._select([unguarded, guarded], message, cache)
+        assert chosen.event.guard == "ack_count_zero"
+
+    def test_acks_complete_requires_expected_count(self):
+        complete = _transition(next_state="X", guard="acks_complete")
+        incomplete = _transition(next_state="S0", guard="acks_incomplete")
+        message = Message("Data", src=1, dst=0)
+        waiting = CacheNodeState(fsm_state="S0", acks_expected=2, acks_received=1)
+        assert self._select([complete, incomplete], message, waiting).event.guard == "acks_complete"
+        early = CacheNodeState(fsm_state="S0", acks_expected=None, acks_received=1)
+        assert self._select([complete, incomplete], message, early).event.guard == "acks_incomplete"
+
+    def test_directory_owner_and_sharer_guards(self):
+        directory = DirectoryNodeState(fsm_state="S0", owner=1, sharers=frozenset({2}))
+        from_owner = Message("Data", src=1, dst=DIRECTORY_ID)
+        from_other = Message("Data", src=2, dst=DIRECTORY_ID)
+        from repro.system.executor import _guard_satisfied
+
+        assert _guard_satisfied(MessageEvent("Data", "from_owner"), message=from_owner,
+                                cache=None, directory=directory)
+        assert not _guard_satisfied(MessageEvent("Data", "from_owner"), message=from_other,
+                                    cache=None, directory=directory)
+        assert _guard_satisfied(MessageEvent("Data", "from_sharer"), message=from_other,
+                                cache=None, directory=directory)
+        assert _guard_satisfied(MessageEvent("Data", "last_sharer"), message=from_other,
+                                cache=None, directory=directory)
+        assert not _guard_satisfied(MessageEvent("Data", "last_sharer"), message=from_owner,
+                                    cache=None, directory=directory)
+
+    def test_unknown_guard_rejected(self):
+        from repro.system.executor import _guard_satisfied
+
+        with pytest.raises(ProtocolRuntimeError):
+            _guard_satisfied(MessageEvent("Data", "sometimes"), message=None,
+                             cache=None, directory=None)
+
+
+class TestCacheExecution:
+    def test_stall_returns_without_changes(self):
+        cache = CacheNodeState(fsm_state="S0")
+        result = execute_cache_transition(
+            _transition(stall=True), cache, 0, message=None, access=None, latest_version=0
+        )
+        assert result.stalled and result.node == cache
+
+    def test_copy_data_and_bookkeeping(self):
+        cache = CacheNodeState(fsm_state="S0")
+        message = Message("Data", src=DIRECTORY_ID, dst=0, data=3, ack_count=2)
+        transition = _transition(
+            actions=[CopyDataFromMessage(), SetAcksExpectedFromMessage(), IncrementAcksReceived()]
+        )
+        result = execute_cache_transition(
+            transition, cache, 0, message=message, access=None, latest_version=3
+        )
+        assert result.node.data == 3
+        assert result.node.acks_expected == 2
+        assert result.node.acks_received == 1
+        assert result.node.fsm_state == "X"
+
+    def test_reset_ack_counters_and_save_requestor(self):
+        cache = CacheNodeState(fsm_state="S0", acks_expected=2, acks_received=2)
+        message = Message("Fwd_GetS", src=DIRECTORY_ID, dst=0, requestor=1)
+        transition = _transition(actions=[ResetAckCounters(), SaveRequestor(slot=1)])
+        result = execute_cache_transition(
+            transition, cache, 0, message=message, access=None, latest_version=0
+        )
+        assert result.node.acks_expected is None and result.node.acks_received == 0
+        assert result.node.saved[1] == 1
+
+    def test_store_increments_version_and_requires_latest(self):
+        cache = CacheNodeState(fsm_state="S0", data=4)
+        transition = _transition(actions=[PerformAccess()])
+        ok = execute_cache_transition(
+            transition, cache, 0, message=None, access=AccessKind.STORE, latest_version=4
+        )
+        assert ok.error is None
+        assert ok.latest_version == 5 and ok.node.data == 5
+
+        stale = execute_cache_transition(
+            transition, cache, 0, message=None, access=AccessKind.STORE, latest_version=7
+        )
+        assert stale.error is not None and "data-value" in stale.error
+
+    def test_load_without_data_is_an_error(self):
+        cache = CacheNodeState(fsm_state="S0", data=None)
+        transition = _transition(actions=[PerformAccess()])
+        result = execute_cache_transition(
+            transition, cache, 0, message=None, access=AccessKind.LOAD, latest_version=0
+        )
+        assert result.error is not None
+
+    def test_load_monotonicity_violation_detected(self):
+        cache = CacheNodeState(fsm_state="S0", data=1, last_observed=3)
+        transition = _transition(actions=[PerformAccess()])
+        result = execute_cache_transition(
+            transition, cache, 0, message=None, access=AccessKind.LOAD, latest_version=3
+        )
+        assert result.error is not None and "backwards" in result.error
+
+    def test_send_destinations(self):
+        cache = CacheNodeState(fsm_state="S0", data=9, saved=(7, None, None, None))
+        message = Message("Fwd_GetS", src=DIRECTORY_ID, dst=0, requestor=1)
+        transition = _transition(
+            actions=[
+                Send("Data", Dest.REQUESTOR, with_data=True),
+                Send("Data", Dest.DIRECTORY, with_data=True),
+                Send("Data", Dest.REQUESTOR, with_data=True, requestor_slot=0),
+            ]
+        )
+        result = execute_cache_transition(
+            transition, cache, 0, message=message, access=None, latest_version=9
+        )
+        destinations = [m.dst for m in result.sends]
+        assert destinations == [1, DIRECTORY_ID, 7]
+        assert all(m.data == 9 for m in result.sends)
+
+    def test_deferred_send_without_saved_requestor_is_error(self):
+        cache = CacheNodeState(fsm_state="S0", data=9)
+        transition = _transition(actions=[Send("Data", Dest.REQUESTOR, requestor_slot=0)])
+        with pytest.raises(ProtocolRuntimeError, match="no saved requestor"):
+            execute_cache_transition(
+                transition, cache, 0, message=None, access=None, latest_version=9
+            )
+
+
+class TestDirectoryExecution:
+    def test_sharer_bookkeeping_and_ack_count(self):
+        directory = DirectoryNodeState(fsm_state="S0", sharers=frozenset({1, 2}), memory=5)
+        message = Message("GetM", src=3, dst=DIRECTORY_ID, requestor=3)
+        transition = _transition(
+            actions=[
+                Send("Data", Dest.REQUESTOR, with_data=True, with_ack_count=True),
+                Send("Inv", Dest.SHARERS),
+                AddRequestorToSharers(),
+                ClearSharers(),
+            ]
+        )
+        result = execute_directory_transition(transition, directory, message=message)
+        data = [m for m in result.sends if m.mtype == "Data"][0]
+        assert data.dst == 3 and data.data == 5 and data.ack_count == 2
+        invs = [m for m in result.sends if m.mtype == "Inv"]
+        assert sorted(m.dst for m in invs) == [1, 2]
+        assert all(m.requestor == 3 for m in invs)
+        assert result.node.sharers == frozenset()
+
+    def test_inv_not_sent_to_requestor_itself(self):
+        directory = DirectoryNodeState(fsm_state="S0", sharers=frozenset({1, 3}))
+        message = Message("GetM", src=3, dst=DIRECTORY_ID, requestor=3)
+        transition = _transition(actions=[Send("Inv", Dest.SHARERS)])
+        result = execute_directory_transition(transition, directory, message=message)
+        assert [m.dst for m in result.sends] == [1]
+
+    def test_forward_to_owner_requires_owner(self):
+        directory = DirectoryNodeState(fsm_state="S0", owner=None)
+        message = Message("GetS", src=1, dst=DIRECTORY_ID, requestor=1)
+        transition = _transition(actions=[Send("Fwd_GetS", Dest.OWNER)])
+        with pytest.raises(ProtocolRuntimeError, match="needs an owner"):
+            execute_directory_transition(transition, directory, message=message)
+
+    def test_copy_data_updates_memory(self):
+        directory = DirectoryNodeState(fsm_state="S0", memory=1)
+        message = Message("PutM", src=1, dst=DIRECTORY_ID, requestor=1, data=4)
+        transition = _transition(actions=[CopyDataFromMessage()])
+        result = execute_directory_transition(transition, directory, message=message)
+        assert result.node.memory == 4
+
+    def test_missing_data_is_error(self):
+        directory = DirectoryNodeState(fsm_state="S0")
+        message = Message("PutM", src=1, dst=DIRECTORY_ID, requestor=1, data=None)
+        transition = _transition(actions=[CopyDataFromMessage()])
+        result = execute_directory_transition(transition, directory, message=message)
+        assert result.error is not None

@@ -1,0 +1,116 @@
+"""Tests for the explicit-state model checker (the Murphi stand-in)."""
+
+import pytest
+
+from repro.core import GenerationConfig, generate
+from repro.core.fsm import FsmTransition, MessageEvent
+from repro.dsl.types import AccessKind
+from repro.system import System, Workload
+from repro.verification import (
+    default_invariants,
+    random_walk,
+    single_owner_invariant,
+    swmr_invariant,
+    verify,
+)
+
+
+@pytest.fixture(scope="module")
+def msi_system(msi_nonstalling):
+    return System(msi_nonstalling, num_caches=2, workload=Workload(max_accesses_per_cache=2))
+
+
+class TestVerifyPasses:
+    def test_msi_nonstalling_two_caches(self, msi_system):
+        result = verify(msi_system)
+        assert result.ok
+        assert result.states_explored > 1000
+        assert result.complete_states > 0
+        assert "PASS" in result.summary
+
+    def test_msi_stalling_two_caches(self, msi_stalling):
+        system = System(msi_stalling, num_caches=2, workload=Workload(max_accesses_per_cache=2))
+        assert verify(system).ok
+
+    def test_single_cache_is_trivially_safe(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=1,
+                        workload=Workload(max_accesses_per_cache=3))
+        result = verify(system)
+        assert result.ok
+
+    def test_truncation_reported(self, msi_system):
+        result = verify(msi_system, max_states=10)
+        assert result.truncated
+        assert result.ok  # nothing wrong found in the prefix
+
+
+class TestVerifyFindsInjectedBugs:
+    def _broken_protocol(self, msi_spec):
+        """Generate MSI, then sabotage it: drop the Invalidation handling in S."""
+        generated = generate(msi_spec, GenerationConfig())
+        cache = generated.cache
+        cache._transitions = [
+            t for t in cache.transitions()
+            if not (t.state == "S" and isinstance(t.event, MessageEvent)
+                    and t.event.message == "Inv")
+        ]
+        cache._index = {}
+        for t in cache._transitions:
+            from repro.core.fsm import event_key
+            cache._index.setdefault((t.state, event_key(t.event)), []).append(t)
+        return generated
+
+    def test_missing_invalidation_handling_is_caught(self, msi_spec):
+        broken = self._broken_protocol(msi_spec)
+        system = System(broken, num_caches=2, workload=Workload(max_accesses_per_cache=2))
+        result = verify(system)
+        assert not result.ok
+        assert result.error is not None and "cannot handle message" in result.error
+        assert result.trace, "a counterexample trace must be reported"
+
+    def test_swmr_violation_detected_with_bad_permissions(self, msi_spec):
+        generated = generate(msi_spec, GenerationConfig())
+        # Sabotage: pretend the IS_D transient already grants write permission.
+        from repro.dsl.types import Permission
+
+        generated.cache.state("IS_D").permission = Permission.READ_WRITE
+        system = System(generated, num_caches=2, workload=Workload(max_accesses_per_cache=2))
+        result = verify(system)
+        assert not result.ok
+        assert result.violation is not None and result.violation.name == "SWMR"
+
+
+class TestInvariantHelpers:
+    def test_default_invariants_include_swmr(self):
+        assert swmr_invariant in tuple(default_invariants())
+        assert single_owner_invariant in tuple(default_invariants())
+
+    def test_swmr_invariant_accepts_single_writer(self, msi_system):
+        state = msi_system.initial_state()
+        assert swmr_invariant(msi_system, state) is None
+
+
+class TestRandomWalk:
+    def test_random_walk_passes_on_msi(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=3,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = random_walk(system, runs=25, max_steps=200, seed=7)
+        assert result.ok
+        assert result.steps > 0
+
+    def test_random_walk_finds_injected_bug(self, msi_spec):
+        generated = generate(msi_spec, GenerationConfig())
+        from repro.dsl.types import Permission
+
+        generated.cache.state("IM_AD").permission = Permission.READ_WRITE
+        system = System(generated, num_caches=2, workload=Workload(max_accesses_per_cache=2))
+        result = random_walk(system, runs=50, max_steps=200, seed=3)
+        assert not result.ok
+        assert result.violation is not None
+
+    def test_random_walk_is_deterministic_per_seed(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1))
+        a = random_walk(system, runs=5, max_steps=100, seed=11)
+        b = random_walk(system, runs=5, max_steps=100, seed=11)
+        assert a.steps == b.steps
