@@ -26,6 +26,15 @@ def test_nonstalling_protocol_counts_and_verification(benchmark, generated, name
 
     result = benchmark.pedantic(check, rounds=1, iterations=1)
 
+    reduced = verify(
+        System(protocol, num_caches=2, workload=Workload(max_accesses_per_cache=2)),
+        symmetry=True,
+    )
+    three_reduced = verify(
+        System(protocol, num_caches=3, workload=Workload(max_accesses_per_cache=1)),
+        symmetry=True,
+    )
+
     banner(f"E8 -- non-stalling {name}: size and verification")
     print(f"  cache     : {metrics.cache.states} states, "
           f"{metrics.cache.protocol_transitions} transitions, {metrics.cache.stalls} stalls")
@@ -34,9 +43,13 @@ def test_nonstalling_protocol_counts_and_verification(benchmark, generated, name
     print(f"  total     : {metrics.total_states} states, "
           f"{metrics.total_protocol_transitions} transitions "
           f"(paper: 18-20 states, 46-60 transitions)")
-    print(f"  verification (2 caches): {result.summary}")
+    print(f"  verification (2 caches)           : {result.summary}")
+    print(f"  verification (2 caches, symmetry) : {reduced.summary}")
+    print(f"  verification (3 caches, symmetry) : {three_reduced.summary}")
 
     assert result.ok
+    assert reduced.ok and reduced.states_explored <= result.states_explored
+    assert three_reduced.ok
     # Shape check: same order of magnitude as the paper; MOSI uses the
     # directory-recall variant and is therefore larger.
     if name in ("MSI", "MESI"):

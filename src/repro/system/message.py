@@ -67,3 +67,20 @@ class Message:
 
     def redirect(self, dst: int) -> "Message":
         return replace(self, dst=dst)
+
+    def relabeled(self, perm: tuple[int, ...]) -> "Message":
+        """Remap every cache-ID field through *perm* (``perm[old] = new``).
+
+        The directory (and any other negative node id) is a fixed point of
+        every cache permutation.  This is the message-level hook the symmetry
+        engine (:mod:`repro.verification.engine.canonical`) uses to relabel
+        in-flight messages when it permutes a global state.
+        """
+
+        def m(i: int | None) -> int | None:
+            return i if i is None or i < 0 else perm[i]
+
+        src, dst, requestor = m(self.src), m(self.dst), m(self.requestor)
+        if (src, dst, requestor) == (self.src, self.dst, self.requestor):
+            return self
+        return replace(self, src=src, dst=dst, requestor=requestor)

@@ -47,6 +47,14 @@ class Network:
     def ordered(self) -> bool:
         raise NotImplementedError
 
+    def relabeled(self, perm: tuple[int, ...]) -> "Network":
+        """Return this network with every cache ID remapped through *perm*."""
+        raise NotImplementedError
+
+    def sort_key(self) -> tuple:
+        """Total-order key over networks (symmetry-canonicalization hook)."""
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class OrderedNetwork(Network):
@@ -102,6 +110,23 @@ class OrderedNetwork(Network):
     def ordered(self) -> bool:
         return True
 
+    def relabeled(self, perm: tuple[int, ...]) -> "OrderedNetwork":
+        channels: dict[tuple[int, int, int], tuple[Message, ...]] = {}
+        for (src, dst, vnet), msgs in self.channels:
+            key = (
+                src if src < 0 else perm[src],
+                dst if dst < 0 else perm[dst],
+                vnet,
+            )
+            channels[key] = tuple(m.relabeled(perm) for m in msgs)
+        return self._from_dict(channels)
+
+    def sort_key(self) -> tuple:
+        return tuple(
+            (key, tuple(message_sort_key(m) for m in msgs))
+            for key, msgs in self.channels
+        )
+
 
 @dataclass(frozen=True)
 class UnorderedNetwork(Network):
@@ -143,6 +168,16 @@ class UnorderedNetwork(Network):
     @property
     def ordered(self) -> bool:
         return False
+
+    def relabeled(self, perm: tuple[int, ...]) -> "UnorderedNetwork":
+        return UnorderedNetwork(
+            messages=tuple(
+                sorted((m.relabeled(perm) for m in self.messages), key=message_sort_key)
+            )
+        )
+
+    def sort_key(self) -> tuple:
+        return tuple(message_sort_key(m) for m in self.messages)
 
 
 def make_network(ordered: bool) -> Network:

@@ -1,4 +1,15 @@
-"""Immutable per-node states used in global system snapshots."""
+"""Immutable per-node states used in global system snapshots.
+
+Both node-state classes expose two symmetry hooks consumed by the
+verification engine (:mod:`repro.verification.engine`):
+
+* ``relabeled(perm)`` -- remap every cache-ID reference held in auxiliary
+  state (saved requestor slots, directory owner / sharer sets) through a
+  cache permutation ``perm`` (``perm[old] = new``);
+* ``sort_key()`` -- a total-order key over node states, used to pick the
+  lexicographically smallest permutation of a global state as its canonical
+  representative (the Murphi scalarset trick).
+"""
 
 from __future__ import annotations
 
@@ -31,6 +42,26 @@ class CacheNodeState:
     def with_state(self, fsm_state: str) -> "CacheNodeState":
         return replace(self, fsm_state=fsm_state)
 
+    def relabeled(self, perm: tuple[int, ...]) -> "CacheNodeState":
+        """Remap the cache IDs in the saved-requestor slots through *perm*."""
+        saved = tuple(s if s is None or s < 0 else perm[s] for s in self.saved)
+        if saved == self.saved:
+            return self
+        return replace(self, saved=saved)
+
+    def sort_key(self) -> tuple:
+        """Total-order key (``None`` fields sort below every integer)."""
+        return (
+            self.fsm_state,
+            self.issued,
+            -1 if self.data is None else self.data,
+            -1 if self.acks_expected is None else self.acks_expected,
+            self.acks_received,
+            tuple(-1 if s is None else s for s in self.saved),
+            "" if self.pending_access is None else self.pending_access.value,
+            self.last_observed,
+        )
+
 
 @dataclass(frozen=True)
 class DirectoryNodeState:
@@ -43,3 +74,19 @@ class DirectoryNodeState:
 
     def with_state(self, fsm_state: str) -> "DirectoryNodeState":
         return replace(self, fsm_state=fsm_state)
+
+    def relabeled(self, perm: tuple[int, ...]) -> "DirectoryNodeState":
+        """Remap the owner and sharer cache IDs through *perm*."""
+        owner = self.owner if self.owner is None or self.owner < 0 else perm[self.owner]
+        sharers = frozenset(s if s < 0 else perm[s] for s in self.sharers)
+        if owner == self.owner and sharers == self.sharers:
+            return self
+        return replace(self, owner=owner, sharers=sharers)
+
+    def sort_key(self) -> tuple:
+        return (
+            self.fsm_state,
+            -2 if self.owner is None else self.owner,
+            tuple(sorted(self.sharers)),
+            self.memory,
+        )

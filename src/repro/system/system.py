@@ -10,6 +10,7 @@ non-deterministic message delivery.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, replace
 from typing import Iterable
 
@@ -34,12 +35,42 @@ from repro.system.node_state import CacheNodeState, DirectoryNodeState
 
 @dataclass(frozen=True)
 class GlobalState:
-    """One hashable snapshot of the whole system."""
+    """One hashable snapshot of the whole system.
+
+    Cache IDs are interchangeable (the workload and the protocol treat all
+    caches identically), so global states that differ only by a renaming of
+    the caches are behaviourally equivalent.  ``relabeled`` applies such a
+    renaming consistently -- to the cache tuple itself and to every cache-ID
+    reference buried in directory auxiliary state and in-flight messages --
+    and ``sort_key`` provides the total order the verification engine uses
+    to pick one representative per equivalence class.
+    """
 
     caches: tuple[CacheNodeState, ...]
     directory: DirectoryNodeState
     network: Network
     latest_version: int = 0
+
+    def relabeled(self, perm: tuple[int, ...]) -> "GlobalState":
+        """Apply the cache permutation *perm* (``perm[old] = new``) everywhere."""
+        caches: list[CacheNodeState | None] = [None] * len(self.caches)
+        for old_id, cache in enumerate(self.caches):
+            caches[perm[old_id]] = cache.relabeled(perm)
+        return GlobalState(
+            caches=tuple(caches),  # type: ignore[arg-type]
+            directory=self.directory.relabeled(perm),
+            network=self.network.relabeled(perm),
+            latest_version=self.latest_version,
+        )
+
+    def sort_key(self) -> tuple:
+        """Total-order key over global states (canonicalization hook)."""
+        return (
+            tuple(c.sort_key() for c in self.caches),
+            self.directory.sort_key(),
+            self.network.sort_key(),
+            self.latest_version,
+        )
 
 
 @dataclass(frozen=True)
@@ -134,6 +165,15 @@ class System:
             network=make_network(self.ordered),
             latest_version=0,
         )
+
+    def symmetry_permutations(self) -> tuple[tuple[int, ...], ...]:
+        """All cache permutations, identity first.
+
+        The workload bounds and access kinds are uniform across caches, so
+        the full symmetric group on cache IDs is a valid symmetry of the
+        transition system (``apply(perm(s), perm(e)) == perm(apply(s, e))``).
+        """
+        return tuple(itertools.permutations(range(self.num_caches)))
 
     # -- event enumeration ------------------------------------------------------
     def enabled_events(self, state: GlobalState) -> list[SystemEvent]:

@@ -5,9 +5,26 @@ the paper: :func:`repro.verification.verify` enumerates the reachable state
 space of a generated protocol (N caches, one block, bounded non-deterministic
 workload, non-deterministic message delivery) and checks SWMR, the data-value
 invariant (enforced inside the execution substrate) and deadlock freedom.
+
+The checker lives in the :mod:`repro.verification.engine` subsystem and
+mirrors Murphi's scalarset machinery: ``verify(system, symmetry=True)``
+canonicalizes cache IDs before de-duplication (up to ``num_caches!`` fewer
+states, identical verdicts, replayable counterexample traces), states are
+interned in a compact store with optional hash compaction, and the search
+strategy is pluggable (BFS, DFS, or a fork-based parallel BFS).
 """
 
-from repro.verification.explorer import VerificationResult, verify
+from repro.verification.engine import (
+    BreadthFirst,
+    DepthFirst,
+    ParallelBreadthFirst,
+    SearchStrategy,
+    StateStore,
+    VerificationResult,
+    canonicalize,
+    relabel_event,
+    verify,
+)
 from repro.verification.invariants import (
     Invariant,
     InvariantViolation,
@@ -18,12 +35,19 @@ from repro.verification.invariants import (
 from repro.verification.random_walk import RandomWalkResult, random_walk
 
 __all__ = [
+    "BreadthFirst",
+    "DepthFirst",
     "Invariant",
     "InvariantViolation",
+    "ParallelBreadthFirst",
     "RandomWalkResult",
+    "SearchStrategy",
+    "StateStore",
     "VerificationResult",
+    "canonicalize",
     "default_invariants",
     "random_walk",
+    "relabel_event",
     "single_owner_invariant",
     "swmr_invariant",
     "verify",

@@ -1,0 +1,55 @@
+"""Symmetry-reduced, parallel-capable verification engine.
+
+The engine is the repo's Murphi stand-in, rebuilt from the seed's flat BFS
+explorer into four cooperating modules:
+
+* :mod:`~repro.verification.engine.canonical` -- cache-ID permutation
+  algebra and scalarset-style state canonicalization;
+* :mod:`~repro.verification.engine.store` -- interned state store with
+  columnar parent links and optional hash compaction;
+* :mod:`~repro.verification.engine.search` -- pluggable search strategies
+  (BFS, DFS, fork-based parallel BFS);
+* :mod:`~repro.verification.engine.core` -- the :func:`verify` facade tying
+  them together, including permutation-correct counterexample traces.
+
+``verify(system)`` behaves exactly like the seed explorer;
+``verify(system, symmetry=True)`` explores one representative per
+cache-permutation orbit, which is what makes three-cache, two-access
+workloads tractable (E7--E10).
+"""
+
+from repro.verification.engine.canonical import (
+    Permutation,
+    canonicalize,
+    compose,
+    identity_permutation,
+    invert,
+    relabel_event,
+)
+from repro.verification.engine.core import Exploration, VerificationResult, verify
+from repro.verification.engine.search import (
+    BreadthFirst,
+    DepthFirst,
+    ParallelBreadthFirst,
+    SearchStrategy,
+    resolve_strategy,
+)
+from repro.verification.engine.store import StateStore
+
+__all__ = [
+    "BreadthFirst",
+    "DepthFirst",
+    "Exploration",
+    "ParallelBreadthFirst",
+    "Permutation",
+    "SearchStrategy",
+    "StateStore",
+    "VerificationResult",
+    "canonicalize",
+    "compose",
+    "identity_permutation",
+    "invert",
+    "relabel_event",
+    "resolve_strategy",
+    "verify",
+]

@@ -1,0 +1,293 @@
+"""The :func:`verify` facade and its shared exploration context.
+
+This module replaces the seed's monolithic BFS explorer with an engine that
+composes three orthogonal pieces:
+
+* **symmetry reduction** (:mod:`repro.verification.engine.canonical`) --
+  cache-ID canonicalization before de-duplication, mirroring Murphi
+  scalarsets; off by default so existing callers see bit-identical state
+  counts, enabled with ``verify(system, symmetry=True)``;
+* **an interned state store** (:mod:`repro.verification.engine.store`) --
+  dense integer IDs and columnar parent links instead of a
+  ``dict[GlobalState, (GlobalState, SystemEvent)]`` parent map, with
+  optional hash compaction;
+* **pluggable search strategies** (:mod:`repro.verification.engine.search`)
+  -- breadth-first (default), depth-first, and a fork-based multiprocessing
+  breadth-first search that shards the frontier across worker processes.
+
+Counterexample traces remain valid under symmetry reduction: every stored
+transition records the permutation that canonicalized its successor, and
+:meth:`Exploration.trace_events` relabels each event back through the
+inverse of the accumulated permutation chain, so the reported event sequence
+replays step-by-step through :meth:`repro.system.System.apply` from the real
+initial state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.system.system import GlobalState, System, SystemEvent
+from repro.verification.engine.canonical import (
+    Permutation,
+    canonicalize,
+    compose,
+    invert,
+    relabel_event,
+)
+from repro.verification.engine.store import StateStore
+from repro.verification.invariants import Invariant, InvariantViolation, default_invariants
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of an exhaustive exploration."""
+
+    ok: bool
+    states_explored: int
+    transitions_explored: int
+    elapsed_seconds: float
+    violation: InvariantViolation | None = None
+    error: str | None = None
+    deadlock: bool = False
+    truncated: bool = False
+    trace: list[str] = field(default_factory=list)
+    complete_states: int = 0
+    #: The counterexample as replayable events (``trace`` is their ``str`` form).
+    trace_events: list[SystemEvent] = field(default_factory=list)
+    #: Whether cache-ID symmetry reduction was applied during the search.
+    symmetry_reduced: bool = False
+    #: Name of the search strategy that produced this result.
+    strategy: str = "bfs"
+
+    @property
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        extra = ""
+        if self.violation is not None:
+            extra = f" [{self.violation}]"
+        elif self.error is not None:
+            extra = f" [{self.error}]"
+        elif self.deadlock:
+            extra = " [deadlock]"
+        if self.truncated:
+            extra += " (truncated)"
+        return (
+            f"{status}: {self.states_explored} states, "
+            f"{self.transitions_explored} transitions, "
+            f"{self.elapsed_seconds:.2f}s{extra}"
+        )
+
+
+class Exploration:
+    """Mutable context shared between :func:`verify` and a search strategy.
+
+    Holds the system under test, the invariants, the (optional) symmetry
+    permutation group, the interned state store, and the running counters;
+    provides the result constructors and the permutation-aware trace
+    reconstruction so every strategy reports identically-shaped results.
+    """
+
+    def __init__(
+        self,
+        *,
+        system: System,
+        invariants: tuple[Invariant, ...],
+        perms: tuple[Permutation, ...] | None,
+        store: StateStore,
+        max_states: int,
+        check_deadlock: bool,
+        strategy_name: str,
+    ):
+        self.system = system
+        self.invariants = invariants
+        self.perms = perms
+        self.store = store
+        self.max_states = max_states
+        self.check_deadlock = check_deadlock
+        self.strategy_name = strategy_name
+        self.start = time.perf_counter()
+        self.explored = 0
+        self.transitions = 0
+        self.complete_states = 0
+        self.truncated = False
+        self.root: tuple[int, GlobalState] | None = None
+
+    # -- setup -----------------------------------------------------------------
+    def seed(self) -> VerificationResult | None:
+        """Intern the (canonicalized) initial state and check it.
+
+        Returns a failure result if an invariant is already violated in the
+        initial state, ``None`` otherwise.
+        """
+        initial = self.system.initial_state()
+        root_perm: Permutation | None = None
+        if self.perms is not None:
+            initial, root_perm = canonicalize(initial, self.perms)
+        root_id, _ = self.store.intern(initial, perm=root_perm)
+        self.root = (root_id, initial)
+        for invariant in self.invariants:
+            violation = invariant(self.system, initial)
+            if violation is not None:
+                return self.failure(violation=violation, leaf_id=root_id)
+        return None
+
+    # -- trace reconstruction ----------------------------------------------------
+    def trace_events(
+        self, leaf_id: int, final_event: SystemEvent | None = None
+    ) -> list[SystemEvent]:
+        """Rebuild the root-to-leaf event sequence in the *concrete* frame.
+
+        The store records events in the frame of each canonical parent.  Let
+        ``sigma_i`` be the accumulated permutation mapping the concrete run
+        to the canonical representatives (``sigma_0`` is the root's
+        canonicalizing permutation).  The concrete event at step ``i+1`` is
+        the stored event relabeled through ``sigma_i`` **inverse**, and
+        ``sigma_{i+1} = perm_{i+1} . sigma_i`` where ``perm_{i+1}`` is the
+        permutation that canonicalized the raw successor.  The resulting
+        sequence replays through :meth:`System.apply` from
+        :meth:`System.initial_state`.
+        """
+        links = self.store.chain(leaf_id)
+        # links[0] belongs to the root: no event, just its canonicalizing perm.
+        sigma = links[0][1]
+        events: list[SystemEvent] = []
+        for event, perm in links[1:]:
+            assert event is not None
+            events.append(relabel_event(event, None if sigma is None else invert(sigma)))
+            if perm is not None:
+                sigma = perm if sigma is None else compose(perm, sigma)
+        if final_event is not None:
+            events.append(
+                relabel_event(final_event, None if sigma is None else invert(sigma))
+            )
+        return events
+
+    # -- result constructors -----------------------------------------------------
+    def _result(self, ok: bool, **kwargs) -> VerificationResult:
+        return VerificationResult(
+            ok=ok,
+            states_explored=self.explored,
+            transitions_explored=self.transitions,
+            elapsed_seconds=time.perf_counter() - self.start,
+            complete_states=self.complete_states,
+            symmetry_reduced=self.perms is not None,
+            strategy=self.strategy_name,
+            **kwargs,
+        )
+
+    def _concretized(
+        self,
+        events: list[SystemEvent],
+        violation: InvariantViolation | None,
+        error: str | None,
+    ) -> tuple[InvariantViolation | None, str | None]:
+        """Re-derive failure details in the concrete frame of the trace.
+
+        Under symmetry reduction the violation/error was produced while
+        inspecting a *canonical* state, so its text mentions canonical cache
+        IDs; the reconstructed trace, however, is relabeled to the concrete
+        frame.  Replaying the trace once regenerates the same verdict with
+        IDs consistent with the reported events.
+        """
+        state = self.system.initial_state()
+        for event in events:
+            outcome = self.system.apply(state, event)
+            if outcome.error is not None:
+                # Error traces end with the failing event by construction.
+                return violation, outcome.error
+            state = outcome.state
+        if violation is not None:
+            for invariant in self.invariants:
+                concrete = invariant(self.system, state)
+                if concrete is not None and concrete.name == violation.name:
+                    return concrete, error
+        return violation, error
+
+    def failure(
+        self,
+        *,
+        leaf_id: int | None = None,
+        final_event: SystemEvent | None = None,
+        violation: InvariantViolation | None = None,
+        error: str | None = None,
+        deadlock: bool = False,
+    ) -> VerificationResult:
+        events = (
+            self.trace_events(leaf_id, final_event) if leaf_id is not None else []
+        )
+        if self.perms is not None and events:
+            violation, error = self._concretized(events, violation, error)
+        return self._result(
+            False,
+            violation=violation,
+            error=error,
+            deadlock=deadlock,
+            trace=[str(e) for e in events],
+            trace_events=events,
+        )
+
+    def success(self) -> VerificationResult:
+        return self._result(True, truncated=self.truncated)
+
+
+def verify(
+    system: System,
+    *,
+    invariants: Sequence[Invariant] | None = None,
+    max_states: int = 2_000_000,
+    check_deadlock: bool = True,
+    symmetry: bool = False,
+    strategy: object = "bfs",
+    processes: int | None = None,
+    hash_compaction: bool = False,
+) -> VerificationResult:
+    """Exhaustively explore *system* and check all invariants.
+
+    Parameters beyond the seed API (all optional, defaults preserve the
+    seed's exact behaviour and state counts):
+
+    ``symmetry``
+        Canonicalize cache IDs before de-duplication (Murphi scalarset
+        reduction).  Explores one representative per cache-permutation orbit
+        -- up to ``num_caches!`` fewer states -- while preserving every
+        verdict; counterexample traces are relabeled back to the concrete
+        frame and stay replayable.
+    ``strategy``
+        ``"bfs"`` (default), ``"dfs"``, ``"parallel"`` (fork-based
+        multiprocessing BFS), or a
+        :class:`~repro.verification.engine.search.SearchStrategy` instance.
+        All strategies explore the same state set and report the same
+        verdicts; BFS yields shortest counterexamples.
+    ``processes``
+        Worker count for the parallel strategy (ignored otherwise).
+    ``hash_compaction``
+        Key the visited-set by a 128-bit digest of each state instead of the
+        state object, trading a vanishing collision risk for memory.
+    """
+    from repro.verification.engine.search import resolve_strategy
+
+    invariant_tuple = (
+        tuple(invariants) if invariants is not None else tuple(default_invariants())
+    )
+    strat = resolve_strategy(strategy, processes=processes)
+    perms = (
+        system.symmetry_permutations()
+        if symmetry and system.num_caches > 1
+        else None
+    )
+    ctx = Exploration(
+        system=system,
+        invariants=invariant_tuple,
+        perms=perms,
+        store=StateStore(hash_compaction=hash_compaction),
+        max_states=max_states,
+        check_deadlock=check_deadlock,
+        strategy_name=strat.name,
+    )
+    early = ctx.seed()
+    if early is not None:
+        return early
+    return strat.run(ctx)

@@ -1,0 +1,248 @@
+"""Pluggable search strategies over the shared exploration context.
+
+Three strategies are provided:
+
+* :class:`BreadthFirst` -- the default; identical exploration order (and,
+  with symmetry off, identical state counts) to the seed explorer, and the
+  shortest counterexamples.
+* :class:`DepthFirst` -- LIFO frontier; explores the same state set and
+  reports the same verdicts, typically finding *some* counterexample sooner
+  at the cost of longer traces.
+* :class:`ParallelBreadthFirst` -- level-synchronous BFS with the frontier
+  sharded across ``fork``-ed worker processes.  Workers expand states
+  (event enumeration, application, canonicalization, invariant checks); the
+  parent process de-duplicates successors into the shared store and builds
+  the next frontier, so counterexample traces work exactly as in the serial
+  strategies.  Falls back to serial BFS when ``fork`` is unavailable or
+  fewer than two workers are requested.  Around the ``max_states`` bound the
+  explored-state count may differ from the serial strategies by up to one
+  frontier level (the bound is enforced per level, not per state).
+
+Every strategy operates on an :class:`~repro.verification.engine.core.Exploration`
+context, so results are identically shaped regardless of how the search ran.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+
+from repro.verification.engine.canonical import canonicalize
+
+# -- worker-process state (populated via fork + Pool initializer) --------------
+
+_WORKER: tuple | None = None
+
+
+def _init_worker(system, invariants, perms) -> None:
+    global _WORKER
+    _WORKER = (system, invariants, perms)
+
+
+def _expand_batch(batch):
+    """Expand a batch of ``(state_id, state)`` pairs in a worker process.
+
+    Returns one record per state, in input order:
+
+    * ``("leaf", sid, quiescent)`` -- no enabled events;
+    * ``("exp", sid, applied, succs, err)`` -- ``succs`` is a list of
+      ``(event, canonical_successor, perm, violation)`` and ``err`` is
+      ``None`` or ``(event, error_message)`` for an event whose application
+      failed (expansion of that state stops there, as in the serial search).
+    """
+    system, invariants, perms = _WORKER
+    records = []
+    for sid, state in batch:
+        events = system.enabled_events(state)
+        if not events:
+            records.append(("leaf", sid, system.is_quiescent(state)))
+            continue
+        succs = []
+        err = None
+        applied = 0
+        for event in events:
+            applied += 1
+            outcome = system.apply(state, event)
+            if outcome.error is not None:
+                err = (event, outcome.error)
+                break
+            successor = outcome.state
+            perm = None
+            if perms is not None:
+                successor, perm = canonicalize(successor, perms)
+            violation = None
+            for invariant in invariants:
+                violation = invariant(system, successor)
+                if violation is not None:
+                    break
+            succs.append((event, successor, perm, violation))
+        records.append(("exp", sid, applied, succs, err))
+    return records
+
+
+# -- strategies ----------------------------------------------------------------
+
+
+class SearchStrategy:
+    """Interface: run the exploration described by a context to completion."""
+
+    name = "base"
+
+    def run(self, ctx):
+        raise NotImplementedError
+
+
+def _run_serial(ctx, *, lifo: bool):
+    """Shared serial worklist search (FIFO = BFS, LIFO = DFS)."""
+    system = ctx.system
+    frontier: deque = deque([ctx.root])
+    pop = frontier.pop if lifo else frontier.popleft
+    while frontier:
+        sid, state = pop()
+        ctx.explored += 1
+        if ctx.explored > ctx.max_states:
+            ctx.truncated = True
+            break
+        events = system.enabled_events(state)
+        if not events:
+            # A state with no enabled events is fine if nothing is actually
+            # outstanding (quiescent); otherwise it is a deadlock.
+            if system.is_quiescent(state):
+                ctx.complete_states += 1
+                continue
+            if ctx.check_deadlock:
+                return ctx.failure(deadlock=True, leaf_id=sid)
+            continue
+        for event in events:
+            ctx.transitions += 1
+            outcome = system.apply(state, event)
+            if outcome.error is not None:
+                return ctx.failure(error=outcome.error, leaf_id=sid, final_event=event)
+            successor = outcome.state
+            perm = None
+            if ctx.perms is not None:
+                successor, perm = canonicalize(successor, ctx.perms)
+            new_id, is_new = ctx.store.intern(
+                successor, parent=sid, event=event, perm=perm
+            )
+            if not is_new:
+                continue
+            for invariant in ctx.invariants:
+                violation = invariant(system, successor)
+                if violation is not None:
+                    return ctx.failure(violation=violation, leaf_id=new_id)
+            frontier.append((new_id, successor))
+    return ctx.success()
+
+
+class BreadthFirst(SearchStrategy):
+    name = "bfs"
+
+    def run(self, ctx):
+        return _run_serial(ctx, lifo=False)
+
+
+class DepthFirst(SearchStrategy):
+    name = "dfs"
+
+    def run(self, ctx):
+        return _run_serial(ctx, lifo=True)
+
+
+class ParallelBreadthFirst(SearchStrategy):
+    """Level-synchronous BFS over a work-sharded frontier."""
+
+    name = "parallel"
+
+    def __init__(self, processes: int | None = None):
+        self.processes = processes
+
+    def run(self, ctx):
+        try:
+            mp = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            return self._fallback(ctx)
+        processes = self.processes or max(2, min(8, os.cpu_count() or 2))
+        if processes <= 1:
+            return self._fallback(ctx)
+
+        frontier = [ctx.root]
+        with mp.Pool(
+            processes,
+            initializer=_init_worker,
+            initargs=(ctx.system, ctx.invariants, ctx.perms),
+        ) as pool:
+            while frontier:
+                remaining = ctx.max_states - ctx.explored
+                if remaining <= 0:
+                    ctx.truncated = True
+                    break
+                if len(frontier) > remaining:
+                    ctx.truncated = True
+                    frontier = frontier[:remaining]
+                chunk = max(1, -(-len(frontier) // (processes * 4)))
+                batches = [
+                    frontier[i : i + chunk] for i in range(0, len(frontier), chunk)
+                ]
+                ctx.explored += len(frontier)
+                next_frontier = []
+                for records in pool.map(_expand_batch, batches):
+                    for record in records:
+                        failure = self._absorb(ctx, record, next_frontier)
+                        if failure is not None:
+                            return failure
+                frontier = next_frontier
+        return ctx.success()
+
+    @staticmethod
+    def _fallback(ctx):
+        """Serial BFS stand-in; relabel the result so it is not attributed
+        to the parallel strategy."""
+        ctx.strategy_name = BreadthFirst.name
+        return _run_serial(ctx, lifo=False)
+
+    @staticmethod
+    def _absorb(ctx, record, next_frontier):
+        """Merge one worker record into the store; return a failure result or None."""
+        if record[0] == "leaf":
+            _, sid, quiescent = record
+            if quiescent:
+                ctx.complete_states += 1
+                return None
+            if ctx.check_deadlock:
+                return ctx.failure(deadlock=True, leaf_id=sid)
+            return None
+        _, sid, applied, succs, err = record
+        ctx.transitions += applied
+        for event, successor, perm, violation in succs:
+            new_id, is_new = ctx.store.intern(
+                successor, parent=sid, event=event, perm=perm
+            )
+            if violation is not None:
+                # The worker checks invariants before de-duplication; a hit on
+                # an already-known state is still a valid counterexample (the
+                # stored chain reaches the same canonical state).
+                return ctx.failure(violation=violation, leaf_id=new_id)
+            if is_new:
+                next_frontier.append((new_id, successor))
+        if err is not None:
+            event, message = err
+            return ctx.failure(error=message, leaf_id=sid, final_event=event)
+        return None
+
+
+def resolve_strategy(spec, *, processes: int | None = None) -> SearchStrategy:
+    """Map a strategy name (or pass through an instance) to a strategy."""
+    if isinstance(spec, SearchStrategy):
+        return spec
+    name = str(spec).lower()
+    if name in ("bfs", "breadth-first"):
+        return BreadthFirst()
+    if name in ("dfs", "depth-first"):
+        return DepthFirst()
+    if name in ("parallel", "parallel-bfs"):
+        return ParallelBreadthFirst(processes=processes)
+    raise ValueError(
+        f"unknown search strategy {spec!r} (expected 'bfs', 'dfs' or 'parallel')"
+    )

@@ -1,0 +1,96 @@
+"""Interned state store: dense integer IDs plus columnar parent links.
+
+The seed explorer kept a ``dict[GlobalState, tuple[GlobalState | None,
+SystemEvent | None]]`` -- every entry held two full state objects, and each
+membership test plus insert hashed the nested dataclasses twice.  The store
+interns each (canonical) state exactly once, hands out a dense integer ID,
+and records the search tree column-wise:
+
+* ``parent[id]`` -- ID of the state this one was first reached from (-1 for
+  the root);
+* ``event[id]``  -- the :class:`~repro.system.system.SystemEvent` applied to
+  the parent *representative* to reach this state;
+* ``perm[id]``   -- the cache permutation that canonicalized the raw
+  successor into the stored representative (``None`` when symmetry reduction
+  is off or the successor was already canonical).
+
+Because traces are rebuilt by *replaying events* (not by reading back stored
+states), the store also supports **hash compaction**: instead of keying the
+intern table by the state object it can key by a 128-bit BLAKE2b digest of
+the state's sort key, cutting resident memory for big runs at a vanishing
+collision risk -- the same trade Murphi offers with ``-b``/hash compaction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.system.system import GlobalState, SystemEvent
+
+from repro.verification.engine.canonical import Permutation
+
+#: Sentinel parent ID of the root state.
+NO_PARENT = -1
+
+
+class StateStore:
+    """Intern table + columnar search-tree links for explored states."""
+
+    __slots__ = ("_ids", "_parent", "_event", "_perm", "hash_compaction")
+
+    def __init__(self, *, hash_compaction: bool = False):
+        self.hash_compaction = hash_compaction
+        self._ids: dict[object, int] = {}
+        self._parent: list[int] = []
+        self._event: list[SystemEvent | None] = []
+        self._perm: list[Permutation | None] = []
+
+    def _key(self, state: GlobalState) -> object:
+        if not self.hash_compaction:
+            return state
+        return hashlib.blake2b(
+            repr(state.sort_key()).encode(), digest_size=16
+        ).digest()
+
+    def intern(
+        self,
+        state: GlobalState,
+        *,
+        parent: int = NO_PARENT,
+        event: SystemEvent | None = None,
+        perm: Permutation | None = None,
+    ) -> tuple[int, bool]:
+        """Return ``(id, is_new)``; records the parent link only when new."""
+        key = self._key(state)
+        existing = self._ids.get(key)
+        if existing is not None:
+            return existing, False
+        new_id = len(self._parent)
+        self._ids[key] = new_id
+        self._parent.append(parent)
+        self._event.append(event)
+        self._perm.append(perm)
+        return new_id, True
+
+    def link(self, state_id: int) -> tuple[int, SystemEvent | None, Permutation | None]:
+        """The ``(parent_id, event, perm)`` triple recorded for *state_id*."""
+        return self._parent[state_id], self._event[state_id], self._perm[state_id]
+
+    def chain(
+        self, state_id: int
+    ) -> list[tuple[SystemEvent | None, Permutation | None]]:
+        """The root-to-*state_id* sequence of ``(event, perm)`` links."""
+        links: list[tuple[SystemEvent | None, Permutation | None]] = []
+        current = state_id
+        while current != NO_PARENT:
+            parent, event, perm = self.link(current)
+            links.append((event, perm))
+            current = parent
+        links.reverse()
+        return links
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, state: GlobalState) -> bool:
+        return self._key(state) in self._ids

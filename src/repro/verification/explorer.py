@@ -1,158 +1,13 @@
-"""Explicit-state model checker (the Murphi replacement).
+"""Backward-compatibility shim for the explicit-state model checker.
 
-:func:`verify` performs a breadth-first search over the reachable global
-states of a :class:`repro.system.System`, checking:
-
-* the per-state invariants (SWMR, structural single-owner);
-* execution-level errors surfaced by the substrate (unexpected messages,
-  ambiguous transitions, data-value violations, loads going backwards);
-* deadlock freedom: every non-complete reachable state must have at least one
-  enabled event.
-
-On failure the result carries a counterexample trace (the sequence of events
-from the initial state), mirroring Murphi's error traces.
+The explorer was rebuilt as the :mod:`repro.verification.engine` subsystem
+(cache-ID symmetry reduction, an interned state store, and pluggable BFS /
+DFS / parallel search strategies).  This module keeps the historical import
+path working: ``from repro.verification.explorer import verify`` resolves to
+the engine facade, which with default arguments behaves exactly like the
+seed explorer (same exploration order, same state counts).
 """
 
-from __future__ import annotations
+from repro.verification.engine.core import VerificationResult, verify
 
-import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Sequence
-
-from repro.system.system import GlobalState, System, SystemEvent
-from repro.verification.invariants import Invariant, InvariantViolation, default_invariants
-
-
-@dataclass
-class VerificationResult:
-    """Outcome of an exhaustive exploration."""
-
-    ok: bool
-    states_explored: int
-    transitions_explored: int
-    elapsed_seconds: float
-    violation: InvariantViolation | None = None
-    error: str | None = None
-    deadlock: bool = False
-    truncated: bool = False
-    trace: list[str] = field(default_factory=list)
-    complete_states: int = 0
-
-    @property
-    def summary(self) -> str:
-        status = "PASS" if self.ok else "FAIL"
-        extra = ""
-        if self.violation is not None:
-            extra = f" [{self.violation}]"
-        elif self.error is not None:
-            extra = f" [{self.error}]"
-        elif self.deadlock:
-            extra = " [deadlock]"
-        if self.truncated:
-            extra += " (truncated)"
-        return (
-            f"{status}: {self.states_explored} states, "
-            f"{self.transitions_explored} transitions, "
-            f"{self.elapsed_seconds:.2f}s{extra}"
-        )
-
-
-def _build_trace(
-    parents: dict[GlobalState, tuple[GlobalState | None, SystemEvent | None]],
-    state: GlobalState,
-    final_event: SystemEvent | None = None,
-) -> list[str]:
-    events: list[str] = []
-    current: GlobalState | None = state
-    while current is not None:
-        parent, event = parents.get(current, (None, None))
-        if event is not None:
-            events.append(str(event))
-        current = parent
-    events.reverse()
-    if final_event is not None:
-        events.append(str(final_event))
-    return events
-
-
-def verify(
-    system: System,
-    *,
-    invariants: Sequence[Invariant] | None = None,
-    max_states: int = 2_000_000,
-    check_deadlock: bool = True,
-) -> VerificationResult:
-    """Exhaustively explore *system* and check all invariants."""
-    invariants = tuple(invariants) if invariants is not None else tuple(default_invariants())
-    start = time.perf_counter()
-
-    initial = system.initial_state()
-    parents: dict[GlobalState, tuple[GlobalState | None, SystemEvent | None]] = {
-        initial: (None, None)
-    }
-    frontier: deque[GlobalState] = deque([initial])
-    explored = 0
-    transitions = 0
-    complete_states = 0
-    truncated = False
-
-    def fail(**kwargs) -> VerificationResult:
-        return VerificationResult(
-            ok=False,
-            states_explored=explored,
-            transitions_explored=transitions,
-            elapsed_seconds=time.perf_counter() - start,
-            complete_states=complete_states,
-            **kwargs,
-        )
-
-    # Check invariants on the initial state as well.
-    for invariant in invariants:
-        violation = invariant(system, initial)
-        if violation is not None:
-            return fail(violation=violation, trace=[])
-
-    while frontier:
-        state = frontier.popleft()
-        explored += 1
-        if explored > max_states:
-            truncated = True
-            break
-
-        events = system.enabled_events(state)
-        if not events:
-            # A state with no enabled events is fine if nothing is actually
-            # outstanding (quiescent); otherwise it is a deadlock.
-            if system.is_quiescent(state):
-                complete_states += 1
-                continue
-            if check_deadlock:
-                return fail(deadlock=True, trace=_build_trace(parents, state))
-            continue
-
-        for event in events:
-            transitions += 1
-            outcome = system.apply(state, event)
-            if outcome.error is not None:
-                return fail(error=outcome.error, trace=_build_trace(parents, state, event))
-            successor = outcome.state
-            if successor in parents:
-                continue
-            parents[successor] = (state, event)
-            for invariant in invariants:
-                violation = invariant(system, successor)
-                if violation is not None:
-                    return fail(
-                        violation=violation, trace=_build_trace(parents, successor)
-                    )
-            frontier.append(successor)
-
-    return VerificationResult(
-        ok=True,
-        states_explored=explored,
-        transitions_explored=transitions,
-        elapsed_seconds=time.perf_counter() - start,
-        truncated=truncated,
-        complete_states=complete_states,
-    )
+__all__ = ["VerificationResult", "verify"]

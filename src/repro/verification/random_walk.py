@@ -6,6 +6,12 @@ caches.  :func:`random_walk` complements it: it runs many random schedules
 invariants along the way.  It cannot prove absence of bugs, but it routinely
 finds the same classes of races the exhaustive search finds, and it scales to
 more caches and longer workloads.
+
+With ``track_coverage=True`` the walk also counts the distinct states it
+visits, canonicalized through the engine's cache-ID symmetry reduction
+(:mod:`repro.verification.engine.canonical`), so coverage numbers are
+comparable with the symmetry-reduced exhaustive search: two visits that
+differ only by a renaming of the caches count as one state.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.system.system import System
+from repro.verification.engine.canonical import canonicalize
 from repro.verification.invariants import Invariant, InvariantViolation, default_invariants
 
 
@@ -29,6 +36,8 @@ class RandomWalkResult:
     error: str | None = None
     deadlock: bool = False
     trace: list[str] = field(default_factory=list)
+    #: Distinct (canonical) states visited; 0 unless ``track_coverage=True``.
+    unique_states: int = 0
 
     @property
     def summary(self) -> str:
@@ -40,6 +49,8 @@ class RandomWalkResult:
             detail = f" [{self.error}]"
         elif self.deadlock:
             detail = " [deadlock]"
+        if self.unique_states:
+            detail += f" ({self.unique_states} unique states)"
         return f"{status}: {self.runs} runs, {self.steps} steps, {self.elapsed_seconds:.2f}s{detail}"
 
 
@@ -50,25 +61,51 @@ def random_walk(
     max_steps: int = 400,
     seed: int = 0,
     invariants: Sequence[Invariant] | None = None,
+    track_coverage: bool = False,
+    symmetry: bool = True,
 ) -> RandomWalkResult:
-    """Run *runs* random schedules of up to *max_steps* events each."""
+    """Run *runs* random schedules of up to *max_steps* events each.
+
+    ``track_coverage`` counts distinct visited states in
+    :attr:`RandomWalkResult.unique_states`; with ``symmetry`` (the default)
+    the count is over cache-permutation orbits rather than raw states.
+    """
     invariants = tuple(invariants) if invariants is not None else tuple(default_invariants())
     rng = random.Random(seed)
     start = time.perf_counter()
     total_steps = 0
 
+    perms = None
+    seen: set | None = None
+    if track_coverage:
+        seen = set()
+        if symmetry and system.num_caches > 1:
+            perms = system.symmetry_permutations()
+
+    def note(state) -> None:
+        if seen is None:
+            return
+        seen.add(canonicalize(state, perms)[0] if perms is not None else state)
+
+    def finish(**kwargs) -> RandomWalkResult:
+        return RandomWalkResult(
+            elapsed_seconds=time.perf_counter() - start,
+            unique_states=len(seen) if seen is not None else 0,
+            **kwargs,
+        )
+
     for run in range(runs):
         state = system.initial_state()
+        note(state)
         trace: list[str] = []
         for _ in range(max_steps):
             events = system.enabled_events(state)
             if not events:
                 if not system.is_quiescent(state):
-                    return RandomWalkResult(
+                    return finish(
                         ok=False,
                         runs=run + 1,
                         steps=total_steps,
-                        elapsed_seconds=time.perf_counter() - start,
                         deadlock=True,
                         trace=trace,
                     )
@@ -78,30 +115,24 @@ def random_walk(
             total_steps += 1
             outcome = system.apply(state, event)
             if outcome.error is not None:
-                return RandomWalkResult(
+                return finish(
                     ok=False,
                     runs=run + 1,
                     steps=total_steps,
-                    elapsed_seconds=time.perf_counter() - start,
                     error=outcome.error,
                     trace=trace,
                 )
             state = outcome.state
+            note(state)
             for invariant in invariants:
                 violation = invariant(system, state)
                 if violation is not None:
-                    return RandomWalkResult(
+                    return finish(
                         ok=False,
                         runs=run + 1,
                         steps=total_steps,
-                        elapsed_seconds=time.perf_counter() - start,
                         violation=violation,
                         trace=trace,
                     )
 
-    return RandomWalkResult(
-        ok=True,
-        runs=runs,
-        steps=total_steps,
-        elapsed_seconds=time.perf_counter() - start,
-    )
+    return finish(ok=True, runs=runs, steps=total_steps)

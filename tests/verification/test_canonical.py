@@ -1,0 +1,148 @@
+"""Property-based tests for cache-ID symmetry canonicalization.
+
+Hand-rolled generators (deterministic seeded random walks over MSI / MESI /
+MOSI systems) produce random reachable global states; the properties mirror
+what Murphi guarantees for scalarsets:
+
+* canonicalization is **idempotent** -- the representative canonicalizes to
+  itself under the identity permutation;
+* canonicalization is **permutation-invariant** -- every relabeling of a
+  state has the same representative;
+* canonicalization **preserves invariant verdicts** -- a state and its
+  representative agree on every default invariant (same violation name, or
+  both clean);
+* relabeling is a **group action** -- applying a permutation and then its
+  inverse is the identity, and the transition relation commutes with
+  relabeling (``apply(perm(s), perm(e))`` equals ``perm(apply(s, e))``).
+"""
+
+import pytest
+
+from repro.system import System, Workload
+from repro.verification import canonicalize, default_invariants, relabel_event
+from repro.verification.engine.canonical import (
+    compose,
+    identity_permutation,
+    invert,
+)
+
+from verification_helpers import sample_reachable_states
+
+
+def _system(protocol, num_caches=3):
+    return System(protocol, num_caches=num_caches, workload=Workload(max_accesses_per_cache=2))
+
+
+@pytest.fixture(scope="module", params=["msi", "mesi", "mosi"])
+def sampled(request, msi_nonstalling, mesi_nonstalling, mosi_nonstalling):
+    protocol = {
+        "msi": msi_nonstalling,
+        "mesi": mesi_nonstalling,
+        "mosi": mosi_nonstalling,
+    }[request.param]
+    system = _system(protocol)
+    states = sample_reachable_states(system, seed=hash(request.param) % 1000)
+    return system, states
+
+
+class TestPermutationAlgebra:
+    def test_invert_roundtrip(self):
+        perm = (2, 0, 1)
+        assert invert(invert(perm)) == perm
+        assert compose(perm, invert(perm)) == identity_permutation(3)
+        assert compose(invert(perm), perm) == identity_permutation(3)
+
+    def test_compose_applies_inner_first(self):
+        inner = (1, 0, 2)
+        outer = (2, 0, 1)
+        composed = compose(outer, inner)
+        assert composed == tuple(outer[inner[i]] for i in range(3))
+
+
+class TestCanonicalizationProperties:
+    def test_idempotent(self, sampled):
+        system, states = sampled
+        perms = system.symmetry_permutations()
+        for state in states:
+            rep, _ = canonicalize(state, perms)
+            again, perm = canonicalize(rep, perms)
+            assert again == rep
+            assert perm == perms[0], "a representative must canonicalize via the identity"
+
+    def test_permutation_invariant(self, sampled):
+        system, states = sampled
+        perms = system.symmetry_permutations()
+        for state in states:
+            rep, _ = canonicalize(state, perms)
+            for perm in perms:
+                relabeled = state.relabeled(perm)
+                rep2, _ = canonicalize(relabeled, perms)
+                assert rep2 == rep
+
+    def test_relabel_roundtrip(self, sampled):
+        system, states = sampled
+        perms = system.symmetry_permutations()
+        for state in states:
+            for perm in perms:
+                assert state.relabeled(perm).relabeled(invert(perm)) == state
+
+    def test_canonicalize_returns_witness_permutation(self, sampled):
+        system, states = sampled
+        perms = system.symmetry_permutations()
+        for state in states:
+            rep, perm = canonicalize(state, perms)
+            assert state.relabeled(perm) == rep
+
+    def test_canonical_key_is_minimal(self, sampled):
+        """The fast (lazy, tie-breaking) canonicalization must agree with the
+        brute-force minimum over all fully-relabeled states."""
+        system, states = sampled
+        perms = system.symmetry_permutations()
+        for state in states:
+            rep, _ = canonicalize(state, perms)
+            brute = min((state.relabeled(p) for p in perms), key=lambda s: s.sort_key())
+            assert rep.sort_key() == brute.sort_key()
+            assert rep == brute
+
+    def test_invariant_verdicts_preserved(self, sampled):
+        system, states = sampled
+        perms = system.symmetry_permutations()
+        for state in states:
+            rep, _ = canonicalize(state, perms)
+            for invariant in default_invariants():
+                original = invariant(system, state)
+                canonical = invariant(system, rep)
+                assert (original is None) == (canonical is None)
+                if original is not None:
+                    assert original.name == canonical.name
+
+
+class TestTransitionEquivariance:
+    def test_apply_commutes_with_relabeling(self, sampled):
+        """apply(perm(s), perm(e)) == perm(apply(s, e)) -- the property that
+        makes exploring one representative per orbit sound."""
+        system, states = sampled
+        perms = system.symmetry_permutations()
+        for state in states[:40]:
+            events = system.enabled_events(state)
+            for event in events:
+                outcome = system.apply(state, event)
+                if outcome.error is not None:
+                    continue
+                for perm in perms:
+                    relabeled_outcome = system.apply(
+                        state.relabeled(perm), relabel_event(event, perm)
+                    )
+                    assert relabeled_outcome.error is None
+                    assert relabeled_outcome.state == outcome.state.relabeled(perm)
+
+    def test_enabled_events_equivariant(self, sampled):
+        system, states = sampled
+        perms = system.symmetry_permutations()
+        for state in states[:40]:
+            events = set(system.enabled_events(state))
+            for perm in perms:
+                relabeled = {
+                    relabel_event(e, perm) for e in events
+                }
+                assert set(system.enabled_events(state.relabeled(perm))) == relabeled

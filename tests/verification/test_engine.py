@@ -1,0 +1,221 @@
+"""Engine-level tests: trace replay under canonicalization, the interned
+state store, search strategies, and hash compaction.
+
+The central regression here is satellite-proofing `_build_trace`'s successor:
+under symmetry reduction the stored search tree lives in canonical frames,
+so a naive readback would interleave incompatible cache labelings.  The
+engine relabels every event through the inverse permutation chain; these
+tests replay each reported counterexample step-by-step through
+``System.apply`` from the true initial state and demand that the exact
+violation / error / deadlock is reproduced.
+"""
+
+import pytest
+
+from repro.system import System, Workload
+from repro.verification import default_invariants, verify
+from repro.verification.engine import (
+    BreadthFirst,
+    DepthFirst,
+    ParallelBreadthFirst,
+    StateStore,
+    resolve_strategy,
+)
+from repro.verification.random_walk import random_walk
+
+from verification_helpers import (
+    MessageDroppingSystem,
+    make_missing_inv_mutant,
+    make_swmr_mutant,
+)
+
+
+@pytest.fixture(scope="module")
+def msi_missing_inv_mutant(msi_spec):
+    return make_missing_inv_mutant(msi_spec)
+
+
+@pytest.fixture(scope="module")
+def msi_swmr_mutant(msi_spec):
+    return make_swmr_mutant(msi_spec)
+
+
+def replay_and_check(system, result):
+    """Replay ``result.trace_events`` from the initial state and assert the
+    reported outcome is reproduced exactly."""
+    state = system.initial_state()
+    events = result.trace_events
+    assert [str(e) for e in events] == result.trace
+    for step, event in enumerate(events):
+        assert event in system.enabled_events(state), (
+            f"replay step {step}: {event} is not enabled"
+        )
+        outcome = system.apply(state, event)
+        if step == len(events) - 1 and result.error is not None:
+            assert outcome.error == result.error
+            return
+        assert outcome.error is None, f"replay step {step} errored: {outcome.error}"
+        state = outcome.state
+    if result.error is not None:
+        pytest.fail("error trace replayed without reproducing the error")
+    if result.violation is not None:
+        reproduced = [
+            v
+            for v in (inv(system, state) for inv in default_invariants())
+            if v is not None and str(v) == str(result.violation)
+        ]
+        assert reproduced, f"violation {result.violation} not reproduced by replay"
+        return
+    if result.deadlock:
+        assert not system.enabled_events(state)
+        assert not system.is_quiescent(state)
+        return
+    pytest.fail("failing result carried no violation/error/deadlock")
+
+
+MODES = [
+    dict(),
+    dict(symmetry=True),
+    dict(symmetry=True, strategy="dfs"),
+    dict(symmetry=True, strategy="parallel", processes=2),
+    dict(symmetry=True, hash_compaction=True),
+]
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: "-".join(
+    f"{k}={v}" for k, v in m.items()) or "default")
+class TestCounterexampleTracesReplay:
+    @pytest.mark.parametrize("num_caches", [2, 3])
+    def test_protocol_error_trace(self, msi_missing_inv_mutant, num_caches, mode):
+        system = System(msi_missing_inv_mutant, num_caches=num_caches,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, **mode)
+        assert not result.ok and result.error is not None
+        assert result.trace, "a counterexample trace must be reported"
+        replay_and_check(system, result)
+
+    @pytest.mark.parametrize("num_caches", [2, 3])
+    def test_invariant_violation_trace(self, msi_swmr_mutant, num_caches, mode):
+        system = System(msi_swmr_mutant, num_caches=num_caches,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, **mode)
+        assert not result.ok and result.violation is not None
+        assert result.violation.name == "SWMR"
+        replay_and_check(system, result)
+
+    def test_deadlock_trace(self, msi_stalling, mode):
+        system = MessageDroppingSystem(
+            msi_stalling, num_caches=2,
+            workload=Workload(max_accesses_per_cache=1),
+            dropped_mtype="GetM",
+        )
+        result = verify(system, **mode)
+        assert not result.ok and result.deadlock
+        replay_and_check(system, result)
+
+
+class TestStrategies:
+    def test_all_strategies_agree_on_pass_and_counts(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        bfs = verify(system, symmetry=True)
+        dfs = verify(system, symmetry=True, strategy="dfs")
+        par = verify(system, symmetry=True, strategy="parallel", processes=2)
+        assert bfs.ok and dfs.ok and par.ok
+        # The explored canonical state set is order-independent.
+        assert bfs.states_explored == dfs.states_explored == par.states_explored
+        assert bfs.transitions_explored == dfs.transitions_explored
+        assert (bfs.strategy, dfs.strategy, par.strategy) == ("bfs", "dfs", "parallel")
+
+    def test_resolve_strategy(self):
+        assert isinstance(resolve_strategy("bfs"), BreadthFirst)
+        assert isinstance(resolve_strategy("depth-first"), DepthFirst)
+        parallel = resolve_strategy("parallel", processes=3)
+        assert isinstance(parallel, ParallelBreadthFirst)
+        assert parallel.processes == 3
+        strategy = DepthFirst()
+        assert resolve_strategy(strategy) is strategy
+        with pytest.raises(ValueError):
+            resolve_strategy("bogo-search")
+
+    def test_strategy_instance_accepted_by_verify(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1))
+        result = verify(system, strategy=DepthFirst())
+        assert result.ok and result.strategy == "dfs"
+
+    def test_parallel_truncation_is_bounded(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, strategy="parallel", processes=2, max_states=50)
+        assert result.truncated and result.ok
+
+
+class TestStateStore:
+    def test_intern_dedups_and_links(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2)
+        store = StateStore()
+        initial = system.initial_state()
+        root, new = store.intern(initial)
+        assert new and root == 0 and len(store) == 1
+        event = system.enabled_events(initial)[0]
+        successor = system.apply(initial, event).state
+        child, new = store.intern(successor, parent=root, event=event)
+        assert new and child == 1
+        again, new = store.intern(successor, parent=99, event=None)
+        assert not new and again == child
+        assert store.link(child) == (root, event, None)
+        assert initial in store and successor in store
+        chain = store.chain(child)
+        assert [e for e, _ in chain] == [None, event]
+
+    def test_hash_compaction_matches_exact_counts(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        exact = verify(system, symmetry=True)
+        compact = verify(system, symmetry=True, hash_compaction=True)
+        assert exact.ok and compact.ok
+        assert exact.states_explored == compact.states_explored
+        assert exact.transitions_explored == compact.transitions_explored
+
+
+class TestBackwardCompatibility:
+    def test_explorer_module_still_exports_verify(self):
+        from repro.verification import explorer
+        from repro.verification.engine.core import VerificationResult as EngineResult
+
+        assert explorer.verify is verify
+        assert explorer.VerificationResult is EngineResult
+
+    def test_default_arguments_match_seed_counts(self, msi_nonstalling):
+        """With no new arguments the engine reproduces the seed explorer's
+        exact exploration (state and transition counts)."""
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system)
+        assert result.ok
+        assert result.states_explored == 1638
+        assert result.transitions_explored == 2954
+        assert not result.symmetry_reduced
+
+
+class TestRandomWalkCoverage:
+    def test_coverage_counts_canonical_states(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        raw = random_walk(system, runs=20, max_steps=120, seed=5,
+                          track_coverage=True, symmetry=False)
+        reduced = random_walk(system, runs=20, max_steps=120, seed=5,
+                              track_coverage=True)
+        assert raw.ok and reduced.ok
+        assert 0 < reduced.unique_states <= raw.unique_states
+        # The exhaustive search bounds the walk's canonical coverage.
+        exhaustive = verify(system, symmetry=True)
+        assert reduced.unique_states <= exhaustive.states_explored
+        assert "unique states" in reduced.summary
+
+    def test_coverage_off_by_default(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1))
+        result = random_walk(system, runs=3, max_steps=50, seed=1)
+        assert result.ok and result.unique_states == 0

@@ -1,0 +1,133 @@
+"""Cross-protocol verification matrix.
+
+Every bundled protocol x {stalling, non-stalling} x {2, 3 caches} is
+verified twice -- once with the plain search and once with cache-ID symmetry
+reduction -- asserting that:
+
+* both runs pass (``ok=True``);
+* the reduced run never explores more states than the full run (and for
+  three caches, strictly fewer: with identical caches the orbits are
+  non-trivial);
+* on intentionally-broken mutant protocols both runs report the *same*
+  verdict (same violation name / same class of protocol error).
+
+Three-cache cells use a one-access LOAD/STORE workload so the matrix stays
+fast; the exhaustive 3-cache x 2-access configuration (the paper's Murphi
+setup) runs under the ``slow`` marker and in the E7 benchmark.
+"""
+
+import pytest
+
+from repro import protocols
+from repro.dsl.types import AccessKind
+from repro.system import System, Workload
+from repro.verification import single_owner_invariant, verify
+
+from verification_helpers import make_missing_inv_mutant, make_swmr_mutant
+
+
+def _workload(name: str, num_caches: int) -> Workload:
+    if num_caches >= 3:
+        # Keep the 3-cache matrix cells fast: one access per cache, no
+        # evictions (which MSI-Unordered lacks by design anyway).
+        return Workload(max_accesses_per_cache=1,
+                        access_kinds=(AccessKind.LOAD, AccessKind.STORE))
+    if name == "MSI-Unordered":
+        # The unordered variant has no eviction path by design.
+        return Workload(max_accesses_per_cache=2,
+                        access_kinds=(AccessKind.LOAD, AccessKind.STORE))
+    return Workload(max_accesses_per_cache=2)
+
+
+def _invariants(name: str):
+    if name == "TSO-CC":
+        # TSO-CC intentionally breaks SWMR in physical time (stale untracked
+        # readers); check single ownership + data-value + deadlock freedom.
+        return [single_owner_invariant]
+    return None
+
+
+@pytest.mark.parametrize("num_caches", [2, 3])
+@pytest.mark.parametrize("config_label", ["nonstalling", "stalling"])
+@pytest.mark.parametrize("name", protocols.available_protocols())
+def test_matrix_cell_passes_and_reduction_never_grows(
+    all_generated, name, config_label, num_caches
+):
+    generated = all_generated[(name, config_label)]
+    system = System(generated, num_caches=num_caches,
+                    workload=_workload(name, num_caches))
+    invariants = _invariants(name)
+
+    full = verify(system, invariants=invariants)
+    reduced = verify(system, invariants=invariants, symmetry=True)
+
+    assert full.ok, f"{name}/{config_label}/{num_caches}c full: {full.summary}"
+    assert reduced.ok, f"{name}/{config_label}/{num_caches}c reduced: {reduced.summary}"
+    assert reduced.symmetry_reduced and not full.symmetry_reduced
+    assert reduced.states_explored <= full.states_explored
+    if num_caches == 3:
+        # With three interchangeable caches almost every state sits in a
+        # non-trivial orbit; reduction must strictly shrink the search.
+        assert reduced.states_explored < full.states_explored
+
+
+def test_stalling_msi_three_caches_strict_reduction(all_generated):
+    """Acceptance: symmetry reduction strictly shrinks the 3-cache stalling
+    MSI search on the same workload."""
+    generated = all_generated[("MSI", "stalling")]
+    system = System(
+        generated,
+        num_caches=3,
+        workload=Workload(max_accesses_per_cache=1,
+                          access_kinds=(AccessKind.LOAD, AccessKind.STORE)),
+    )
+    full = verify(system)
+    reduced = verify(system, symmetry=True)
+    assert full.ok and reduced.ok
+    assert reduced.states_explored < full.states_explored
+    assert reduced.transitions_explored < full.transitions_explored
+
+
+class TestMutantVerdictsMatchAcrossModes:
+    """Broken protocols must fail identically with and without reduction."""
+
+    @pytest.mark.parametrize("num_caches", [2, 3])
+    def test_swmr_mutant(self, msi_spec, num_caches):
+        mutant = make_swmr_mutant(msi_spec)
+        system = System(mutant, num_caches=num_caches,
+                        workload=Workload(max_accesses_per_cache=2))
+        full = verify(system)
+        reduced = verify(system, symmetry=True)
+        assert not full.ok and not reduced.ok
+        assert full.violation is not None and reduced.violation is not None
+        assert full.violation.name == reduced.violation.name == "SWMR"
+        assert reduced.states_explored <= full.states_explored
+
+    @pytest.mark.parametrize("num_caches", [2, 3])
+    def test_missing_inv_mutant(self, msi_spec, num_caches):
+        mutant = make_missing_inv_mutant(msi_spec)
+        system = System(mutant, num_caches=num_caches,
+                        workload=Workload(max_accesses_per_cache=2))
+        full = verify(system)
+        reduced = verify(system, symmetry=True)
+        assert not full.ok and not reduced.ok
+        assert full.error is not None and "cannot handle message Inv" in full.error
+        assert reduced.error is not None and "cannot handle message Inv" in reduced.error
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["MSI", "MESI", "MOSI"])
+def test_three_cache_two_access_exhaustive(all_generated, name):
+    """The paper's Murphi configuration: three caches, full workload.
+
+    Reduced and full searches must agree on the verdict, and reduction must
+    shrink the state space by a factor approaching 3! = 6.
+    """
+    generated = all_generated[(name, "stalling")]
+    system = System(generated, num_caches=3,
+                    workload=Workload(max_accesses_per_cache=2))
+    reduced = verify(system, symmetry=True)
+    full = verify(system)
+    assert reduced.ok and full.ok
+    assert reduced.states_explored < full.states_explored
+    assert full.states_explored / reduced.states_explored > 4.0

@@ -1,0 +1,88 @@
+"""Shared helpers for the verification-layer tests: protocol mutants and
+random reachable-state sampling (hand-rolled, deterministic generators).
+
+Kept out of conftest.py on purpose: test modules import these helpers by
+module name, and ``conftest`` is ambiguous once several test roots (tests/,
+benchmarks/) each carry their own conftest on sys.path."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import GenerationConfig, generate
+from repro.core.fsm import MessageEvent, event_key
+from repro.dsl.types import Permission
+from repro.system import System
+from repro.system.system import DeliverMessage, GlobalState
+
+
+def make_missing_inv_mutant(msi_spec):
+    """Generate MSI, then sabotage it: drop the Invalidation handling in S.
+
+    The model checker reports this as an 'unexpected message' protocol error
+    (mirroring Murphi), with a counterexample trace.
+    """
+    generated = generate(msi_spec, GenerationConfig())
+    cache = generated.cache
+    cache._transitions = [
+        t
+        for t in cache.transitions()
+        if not (
+            t.state == "S"
+            and isinstance(t.event, MessageEvent)
+            and t.event.message == "Inv"
+        )
+    ]
+    cache._index = {}
+    for t in cache._transitions:
+        cache._index.setdefault((t.state, event_key(t.event)), []).append(t)
+    return generated
+
+
+def make_swmr_mutant(msi_spec):
+    """Generate MSI, then pretend IS_D already grants write permission."""
+    generated = generate(msi_spec, GenerationConfig())
+    generated.cache.state("IS_D").permission = Permission.READ_WRITE
+    return generated
+
+
+class MessageDroppingSystem(System):
+    """A system whose network silently refuses to deliver one message type.
+
+    Dropping a request type is symmetric in the cache IDs, so it is a valid
+    subject for the symmetry-reduced search; it deadlocks as soon as any
+    cache waits on a response to the dropped request.
+    """
+
+    def __init__(self, *args, dropped_mtype: str, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.dropped_mtype = dropped_mtype
+
+    def enabled_events(self, state):
+        return [
+            e
+            for e in super().enabled_events(state)
+            if not (
+                isinstance(e, DeliverMessage) and e.message.mtype == self.dropped_mtype
+            )
+        ]
+
+
+def sample_reachable_states(
+    system: System, *, seed: int, walks: int = 8, max_steps: int = 40
+) -> list[GlobalState]:
+    """Deterministic random-walk generator of reachable global states."""
+    rng = random.Random(seed)
+    states: list[GlobalState] = [system.initial_state()]
+    for _ in range(walks):
+        state = system.initial_state()
+        for _ in range(max_steps):
+            events = system.enabled_events(state)
+            if not events:
+                break
+            outcome = system.apply(state, rng.choice(events))
+            if outcome.error is not None:
+                break
+            state = outcome.state
+            states.append(state)
+    return states
