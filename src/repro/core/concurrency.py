@@ -18,6 +18,21 @@ own transaction, and generate the corresponding behaviour:
   configuration the cache stalls, or transitions immediately to a new
   transient state while deferring (some or all of) the responses until its
   own transaction completes.
+
+On an interconnect *without* point-to-point ordering one more situation
+arises: a message of an **earlier**-ordered transaction (Case 1) can be
+overtaken by messages of **later**-ordered ones (Case 2) and arrive only
+after the cache has already been redirected.  The classic instance is a
+repeated invalidation: a cache in ``SM_AD`` whose Case-2 redirect moved it
+to ``IM_AD_I`` can still receive the ``Inv`` that was sent while its own
+``GetM`` was unserialized.  Every Case-2 redirect therefore records which
+messages the pre-redirect state would have routed through Case 1
+(``TransientDescriptor.late_absorbs``); the redirected state -- and every
+state its transaction advances through -- acknowledges such a late arrival
+in place (the response never carries data, so it can always be sent
+immediately; deferring it could deadlock the earlier transaction, which is
+what makes this the unordered-network analogue of the Case-1 "respond
+immediately" rule).
 """
 
 from __future__ import annotations
@@ -48,12 +63,17 @@ def _handle_forwarded_requests(
 ) -> None:
     for message in ctx.spec.forwarded_messages():
         arrival_states = set(ctx.spec.cache_arrival_states(message))
-        relevant = arrival_states & set(descriptor.membership)
-        if not relevant:
-            continue
         if ctx.fsm.has_transition(name, MessageEvent(message)):
             # Already handled (e.g. the forwarded request doubles as a trigger
             # of the own transaction in an unusual SSP).
+            continue
+        if descriptor.late_absorb_for(message) is not None:
+            # A message of an earlier-ordered transaction arriving late on an
+            # unordered network: acknowledge it in place (see module docs).
+            _absorb_late_arrival(ctx, name, descriptor, message)
+            continue
+        relevant = arrival_states & set(descriptor.membership)
+        if not relevant:
             continue
         if (
             not descriptor.redirected
@@ -81,6 +101,93 @@ def _single_reaction(ctx: CacheGenContext, state: str, message: str) -> Reaction
             f"the SSP does not say how a cache in {state!r} handles {message!r}"
         )
     return reactions[0]
+
+
+# ---------------------------------------------------------------------------
+# Late arrivals of earlier-ordered messages (unordered networks)
+# ---------------------------------------------------------------------------
+
+
+def _case1_messages(
+    ctx: CacheGenContext, descriptor: TransientDescriptor
+) -> frozenset[tuple[str, str]]:
+    """``(message, reacting_state)`` pairs *descriptor* routes through Case 1.
+
+    Mirrors the dispatch of :func:`_handle_forwarded_requests`, including its
+    already-handled guard: a forwarded request that doubles as a trigger of
+    the own transaction's current stage is consumed by the transaction, never
+    by Case 1.  (The dispatch expresses that guard as ``has_transition``,
+    which is equivalent only at the message's own loop iteration; here the
+    trigger set is consulted directly so the answer is independent of how
+    much of the forwarded loop has already run.)  The remaining condition:
+    the message can arrive in the transaction's start state and the start
+    state is not one the transaction can already complete in.  These are
+    exactly the messages that may still be in flight -- and, on an unordered
+    network, arrive late -- once a Case-2 redirect proves the own transaction
+    was serialized at the directory.
+    """
+    own_triggers = {t.message for t in descriptor.current_stage.triggers}
+    pairs = set()
+    for message in ctx.spec.forwarded_messages():
+        if message in own_triggers:
+            continue
+        relevant = set(ctx.spec.cache_arrival_states(message)) & set(descriptor.membership)
+        if (
+            not descriptor.redirected
+            and descriptor.start in relevant
+            and descriptor.start not in descriptor.reachable_finals()
+        ):
+            pairs.add((message, descriptor.start))
+    return frozenset(pairs)
+
+
+def _absorb_late_arrival(
+    ctx: CacheGenContext, name: str, descriptor: TransientDescriptor, message: str
+) -> None:
+    """Acknowledge a late earlier-ordered *message* and drop the dead copy.
+
+    The cache already logically gave up the copy the message targets (its own
+    transaction was serialized after the message's transaction), so the only
+    obligation left is the protocol-level acknowledgment -- e.g. the
+    ``Inv_Ack`` the invalidating requestor is counting on.  The response is
+    sent immediately regardless of the concurrency policy: the earlier
+    transaction cannot complete without it, and the own transaction's data
+    response is (transitively) deferred behind that completion, so deferring
+    the acknowledgment would deadlock.
+
+    The target state re-bases the transaction on the reaction's landing state
+    (``SM_AD_S`` absorbing the late ``Inv`` lands in ``IM_AD_S``): the
+    original copy no longer contributes access permission, which is what
+    keeps SWMR intact once the invalidating writer completes.
+    """
+    pair = descriptor.late_absorb_for(message)
+    assert pair is not None
+    _, reacting_state = pair
+    reaction = _single_reaction(ctx, reacting_state, message)
+    sends: list[Action] = []
+    for action in reaction.actions:
+        if not isinstance(action, Send) or is_data_send(action):
+            raise GenerationError(
+                f"cannot absorb late {message!r} in transient state {name!r}: "
+                f"the {reacting_state!r} reaction requires {action!r}, which "
+                "cannot be performed after the copy was given up; extend the "
+                "SSP to resolve this race explicitly"
+            )
+        sends.append(action)
+    landed = replace(
+        descriptor,
+        start=reaction.next_state,
+        late_absorbs=descriptor.late_absorbs - {pair},
+    )
+    target = ctx.ensure_state(landed)
+    ctx.fsm.add_transition(
+        FsmTransition(
+            state=name,
+            event=MessageEvent(message, guard=reaction.guard),
+            actions=tuple(sends),
+            next_state=target,
+        )
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -190,12 +297,18 @@ def _case2_other_ordered_after(
         slots_used = save_slot + 1
     transition_actions.extend(immediate)
 
+    late_absorbs = descriptor.late_absorbs
+    if not ctx.spec.ordered_network:
+        # The redirect proves the own transaction was serialized: every
+        # Case-1 message of the pre-redirect state may now arrive late.
+        late_absorbs = late_absorbs | _case1_messages(ctx, descriptor)
     redirected = replace(
         descriptor,
         membership=frozenset({reaction.next_state}),
         chain=descriptor.chain + (reaction.next_state,),
         deferred=descriptor.deferred + tuple(deferred),
         slots_used=slots_used,
+        late_absorbs=late_absorbs,
     )
     target = ctx.ensure_state(redirected)
     ctx.fsm.add_transition(

@@ -43,6 +43,21 @@ class TransientDescriptor:
     access_performed: bool = False
     completion_actions: tuple[Action, ...] = ()
     stale: bool = False
+    #: ``(message, reacting_state)`` pairs for forwarded messages that belong
+    #: to transactions ordered *before* the own transaction and may still
+    #: arrive late (unordered networks only): once a Case-2 redirect proves
+    #: the own transaction was serialized, any message the pre-redirect state
+    #: would have routed through Case 1 can still be in flight.  The reacting
+    #: state is the stable state whose SSP reaction supplies the required
+    #: acknowledgment (Section V-D, extended to interconnects without
+    #: point-to-point ordering).
+    late_absorbs: frozenset[tuple[str, str]] = frozenset()
+
+    def late_absorb_for(self, message: str) -> tuple[str, str] | None:
+        for pair in self.late_absorbs:
+            if pair[0] == message:
+                return pair
+        return None
 
     # -- derived --------------------------------------------------------------
     @property
@@ -106,6 +121,10 @@ class TransientDescriptor:
             self.completion_actions,
             self.access_performed,
             self.stale,
+            # States that must absorb different late (earlier-ordered)
+            # messages behave differently and must not merge: SM_AD_I still
+            # owes an Inv_Ack for its original S copy, IM_AD_I does not.
+            self.late_absorbs,
         )
 
 

@@ -15,6 +15,15 @@ chases, an Invalidation overtaking the Data response of a GetS, invalidation
 acknowledgments overtaking the Data of a GetM -- are resolved by the
 generated transient states themselves and are therefore safe on an unordered
 network, which is what the verification experiment (E9) demonstrates.
+
+One of those races deserves a note: an Invalidation aimed at a cache's old
+``S`` copy can be overtaken by forwards of *later*-ordered transactions and
+arrive only after the cache was redirected out of ``SM_AD`` (the repeated
+invalidation found by the deep 3-cache x 2-access search).  The generator
+resolves it structurally -- every Case-2 redirect records the pre-redirect
+Case-1 messages and the redirected states acknowledge them late (see
+:mod:`repro.core.concurrency`) -- so this SSP needs no extra handshake
+messages even for that corner.
 """
 
 from __future__ import annotations

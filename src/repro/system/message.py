@@ -25,6 +25,32 @@ def message_sort_key(message: "Message") -> tuple:
     )
 
 
+def relabeled_message_sort_key(message: "Message", perm: tuple[int, ...]) -> tuple:
+    """``message_sort_key(message.relabeled(perm))`` without building the message.
+
+    Canonicalization tie-breaking only needs relabeled *keys*, never the
+    relabeled message objects; skipping ``dataclasses.replace`` keeps the
+    symmetry-reduction hot path allocation-free.
+    """
+
+    def m(i):
+        return i if i < 0 else perm[i]
+
+    def k(value):
+        return (0, 0) if value is None else (1, value)
+
+    requestor = message.requestor
+    return (
+        message.mtype,
+        m(message.src),
+        m(message.dst),
+        message.vnet,
+        k(requestor if requestor is None or requestor < 0 else perm[requestor]),
+        k(message.data),
+        k(message.ack_count),
+    )
+
+
 @dataclass(frozen=True)
 class Message:
     """One coherence message in flight.

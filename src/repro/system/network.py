@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.system.message import Message, message_sort_key
+from repro.system.message import Message, message_sort_key, relabeled_message_sort_key
 
 
 class Network:
@@ -53,6 +53,16 @@ class Network:
 
     def sort_key(self) -> tuple:
         """Total-order key over networks (symmetry-canonicalization hook)."""
+        raise NotImplementedError
+
+    def relabeled_sort_key(self, perm: tuple[int, ...]) -> tuple:
+        """``self.relabeled(perm).sort_key()`` without building the network.
+
+        Tie-breaking in :func:`repro.verification.engine.canonical.canonicalize`
+        evaluates this once per candidate permutation; computing the key
+        directly avoids materializing relabeled message and network objects
+        on the search hot path.
+        """
         raise NotImplementedError
 
 
@@ -127,6 +137,24 @@ class OrderedNetwork(Network):
             for key, msgs in self.channels
         )
 
+    def relabeled_sort_key(self, perm: tuple[int, ...]) -> tuple:
+        return tuple(
+            sorted(
+                (
+                    (
+                        (
+                            src if src < 0 else perm[src],
+                            dst if dst < 0 else perm[dst],
+                            vnet,
+                        ),
+                        tuple(relabeled_message_sort_key(m, perm) for m in msgs),
+                    )
+                    for (src, dst, vnet), msgs in self.channels
+                ),
+                key=lambda item: item[0],
+            )
+        )
+
 
 @dataclass(frozen=True)
 class UnorderedNetwork(Network):
@@ -178,6 +206,11 @@ class UnorderedNetwork(Network):
 
     def sort_key(self) -> tuple:
         return tuple(message_sort_key(m) for m in self.messages)
+
+    def relabeled_sort_key(self, perm: tuple[int, ...]) -> tuple:
+        return tuple(
+            sorted(relabeled_message_sort_key(m, perm) for m in self.messages)
+        )
 
 
 def make_network(ordered: bool) -> Network:

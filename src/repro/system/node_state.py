@@ -62,6 +62,19 @@ class CacheNodeState:
             self.last_observed,
         )
 
+    def relabeled_sort_key(self, perm: tuple[int, ...]) -> tuple:
+        """``self.relabeled(perm).sort_key()`` without building the node state."""
+        return (
+            self.fsm_state,
+            self.issued,
+            -1 if self.data is None else self.data,
+            -1 if self.acks_expected is None else self.acks_expected,
+            self.acks_received,
+            tuple(-1 if s is None else s if s < 0 else perm[s] for s in self.saved),
+            "" if self.pending_access is None else self.pending_access.value,
+            self.last_observed,
+        )
+
 
 @dataclass(frozen=True)
 class DirectoryNodeState:
@@ -88,5 +101,15 @@ class DirectoryNodeState:
             self.fsm_state,
             -2 if self.owner is None else self.owner,
             tuple(sorted(self.sharers)),
+            self.memory,
+        )
+
+    def relabeled_sort_key(self, perm: tuple[int, ...]) -> tuple:
+        """``self.relabeled(perm).sort_key()`` without building the node state."""
+        owner = self.owner
+        return (
+            self.fsm_state,
+            -2 if owner is None else owner if owner < 0 else perm[owner],
+            tuple(sorted(s if s < 0 else perm[s] for s in self.sharers)),
             self.memory,
         )

@@ -22,6 +22,7 @@ from repro.verification.engine import (
     StateStore,
     VerificationResult,
     canonicalize,
+    canonicalize_bruteforce,
     relabel_event,
     verify,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "StateStore",
     "VerificationResult",
     "canonicalize",
+    "canonicalize_bruteforce",
     "default_invariants",
     "random_walk",
     "relabel_event",

@@ -21,6 +21,7 @@ workloads tractable (E7--E10).
 from repro.verification.engine.canonical import (
     Permutation,
     canonicalize,
+    canonicalize_bruteforce,
     compose,
     identity_permutation,
     invert,
@@ -46,6 +47,7 @@ __all__ = [
     "StateStore",
     "VerificationResult",
     "canonicalize",
+    "canonicalize_bruteforce",
     "compose",
     "identity_permutation",
     "invert",

@@ -50,9 +50,19 @@ def _expand_batch(batch):
       ``(event, canonical_successor, perm, violation)`` and ``err`` is
       ``None`` or ``(event, error_message)`` for an event whose application
       failed (expansion of that state stops there, as in the serial search).
+
+    Canonicalization is batched: successors are canonicalized and
+    de-duplicated across the whole shard before anything is pickled back, so
+    a canonical state reached through several transitions of the shard
+    crosses the process boundary once.  The parent's intern loop would have
+    discarded the duplicates anyway (``is_new=False``); suppressing them in
+    the worker amortizes the per-level IPC instead of paying it per
+    transition.  ``applied`` still counts every applied event, so transition
+    counts match the serial strategies.
     """
     system, invariants, perms = _WORKER
     records = []
+    emitted: set = set()
     for sid, state in batch:
         events = system.enabled_events(state)
         if not events:
@@ -71,6 +81,11 @@ def _expand_batch(batch):
             perm = None
             if perms is not None:
                 successor, perm = canonicalize(successor, perms)
+            if successor in emitted:
+                # Invariants are functions of the state alone, so the first
+                # emission already carries this state's verdict.
+                continue
+            emitted.add(successor)
             violation = None
             for invariant in invariants:
                 violation = invariant(system, successor)

@@ -19,7 +19,12 @@ what Murphi guarantees for scalarsets:
 import pytest
 
 from repro.system import System, Workload
-from repro.verification import canonicalize, default_invariants, relabel_event
+from repro.verification import (
+    canonicalize,
+    canonicalize_bruteforce,
+    default_invariants,
+    relabel_event,
+)
 from repro.verification.engine.canonical import (
     compose,
     identity_permutation,
@@ -115,6 +120,86 @@ class TestCanonicalizationProperties:
                 assert (original is None) == (canonical is None)
                 if original is not None:
                     assert original.name == canonical.name
+
+
+class TestSortedSignaturePrecanonicalization:
+    """The 4-cache fast path: signature sort -> orbit pruning -> tie-break.
+
+    :func:`canonicalize` avoids enumerating all ``4! = 24`` permutations when
+    no cache holds a saved requestor ID; these properties pin its exact
+    agreement with the brute-force enumeration on random reachable 4-cache
+    states (both sampled and adversarially symmetric ones).
+    """
+
+    @pytest.fixture(scope="class", params=["stalling", "nonstalling"])
+    def four_cache_sampled(self, request, msi_spec):
+        from repro.core import GenerationConfig, generate
+
+        config = (
+            GenerationConfig.stalling()
+            if request.param == "stalling"
+            else GenerationConfig.nonstalling()
+        )
+        protocol = generate(msi_spec, config)
+        system = System(
+            protocol, num_caches=4, workload=Workload(max_accesses_per_cache=2)
+        )
+        states = sample_reachable_states(system, seed=2024, walks=10, max_steps=50)
+        return system, states
+
+    def test_agrees_with_bruteforce(self, four_cache_sampled):
+        system, states = four_cache_sampled
+        perms = system.symmetry_permutations()
+        for state in states:
+            rep, perm = canonicalize(state, perms)
+            brute_rep, brute_perm = canonicalize_bruteforce(state, perms)
+            assert rep == brute_rep
+            assert perm == brute_perm
+            assert state.relabeled(perm) == rep
+
+    def test_permutation_invariant(self, four_cache_sampled):
+        system, states = four_cache_sampled
+        perms = system.symmetry_permutations()
+        for state in states[:60]:
+            rep, _ = canonicalize(state, perms)
+            for perm in perms:
+                rep2, _ = canonicalize(state.relabeled(perm), perms)
+                assert rep2 == rep
+
+    def test_idempotent(self, four_cache_sampled):
+        system, states = four_cache_sampled
+        perms = system.symmetry_permutations()
+        for state in states:
+            rep, _ = canonicalize(state, perms)
+            again, perm = canonicalize(rep, perms)
+            assert again == rep
+            assert perm == perms[0]
+
+    def test_fully_symmetric_state_hits_the_orbit_path(self, four_cache_sampled):
+        """The initial state (four identical caches) has the maximal orbit:
+        every permutation ties on signatures, so the tie-break must resolve
+        to the identity and the state must already be canonical."""
+        system, _ = four_cache_sampled
+        perms = system.symmetry_permutations()
+        initial = system.initial_state()
+        rep, perm = canonicalize(initial, perms)
+        assert rep == initial
+        assert perm == perms[0]
+
+    def test_saved_requestor_states_fall_back_consistently(self, four_cache_sampled):
+        """States whose saved slots hold cache IDs take the brute-force path;
+        their representatives must still agree across every relabeling."""
+        system, states = four_cache_sampled
+        perms = system.symmetry_permutations()
+        with_saved = [
+            s for s in states
+            if any(any(v is not None and v >= 0 for v in c.saved) for c in s.caches)
+        ][:40]
+        for state in with_saved:
+            rep, _ = canonicalize(state, perms)
+            for perm in perms[:8]:
+                rep2, _ = canonicalize(state.relabeled(perm), perms)
+                assert rep2 == rep
 
 
 class TestTransitionEquivariance:

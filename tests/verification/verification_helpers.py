@@ -16,27 +16,48 @@ from repro.system import System
 from repro.system.system import DeliverMessage, GlobalState
 
 
-def make_missing_inv_mutant(msi_spec):
-    """Generate MSI, then sabotage it: drop the Invalidation handling in S.
+def drop_cache_handler(generated, state: str, message: str):
+    """Sabotage a generated protocol: remove the cache transition(s) for
+    *message* in *state*.
 
-    The model checker reports this as an 'unexpected message' protocol error
-    (mirroring Murphi), with a counterexample trace.
+    The model checker reports the resulting hole as an 'unexpected message'
+    protocol error (mirroring Murphi), with a counterexample trace.  Always
+    pass a freshly generated protocol -- the mutation is in place, so shared
+    fixtures must not be handed to it.
     """
-    generated = generate(msi_spec, GenerationConfig())
     cache = generated.cache
     cache._transitions = [
         t
         for t in cache.transitions()
         if not (
-            t.state == "S"
+            t.state == state
             and isinstance(t.event, MessageEvent)
-            and t.event.message == "Inv"
+            and t.event.message == message
         )
     ]
     cache._index = {}
     for t in cache._transitions:
         cache._index.setdefault((t.state, event_key(t.event)), []).append(t)
     return generated
+
+
+#: Per-protocol (state, message) pairs whose dropped handler is reachable on
+#: a 1-access LOAD/STORE workload: another cache's store forwards an
+#: invalidation (or an ownership transfer, for TSO-CC which has no Inv) into
+#: the victim.
+MUTANT_DROPS = {
+    "MSI": ("S", "Inv"),
+    "MESI": ("S", "Inv"),
+    "MOSI": ("S", "Inv"),
+    "MSI-Upgrade": ("S", "Inv"),
+    "MSI-Unordered": ("S", "Inv"),
+    "TSO-CC": ("M", "Fwd_GetM"),
+}
+
+
+def make_missing_inv_mutant(msi_spec):
+    """Generate MSI, then drop the Invalidation handling in S."""
+    return drop_cache_handler(generate(msi_spec, GenerationConfig()), "S", "Inv")
 
 
 def make_swmr_mutant(msi_spec):
