@@ -1,0 +1,82 @@
+"""Machine-readable benchmark reporting.
+
+Benchmarks used to print their measured numbers into the pytest log, where
+no tool could compare one run against the next.  :func:`record_run` appends
+one JSON entry per verification run -- states explored, wall-clock, and
+states/second, plus the run configuration -- to ``BENCH_results.json`` at
+the repository root, so the perf trajectory across PRs (and across CI runs,
+which upload the file as an artifact) is finally tracked in a form scripts
+can diff.
+
+Kept out of ``conftest.py`` on purpose (same reason as
+``tests/verification/verification_helpers.py``): test modules import this
+helper by its unique module name, and ``conftest`` resolves ambiguously once
+several test roots sit on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+#: Default results file: ``<repo root>/BENCH_results.json`` (override with
+#: the ``BENCH_RESULTS_PATH`` environment variable, e.g. in CI).
+DEFAULT_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+
+def results_path() -> Path:
+    override = os.environ.get("BENCH_RESULTS_PATH")
+    return Path(override) if override else DEFAULT_RESULTS_PATH
+
+
+def load_results(path: Path | None = None) -> list[dict]:
+    """The recorded entries (empty on a missing or unreadable file)."""
+    target = path or results_path()
+    try:
+        data = json.loads(target.read_text())
+    except (OSError, ValueError):
+        return []
+    return data if isinstance(data, list) else []
+
+
+def record_run(
+    bench_id: str,
+    result,
+    *,
+    protocol: str,
+    config: str,
+    num_caches: int,
+    accesses: int,
+    symmetry: bool,
+    processes: int | None = None,
+    path: Path | None = None,
+) -> dict:
+    """Append one :class:`VerificationResult` measurement and return the entry."""
+    elapsed = result.elapsed_seconds
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "bench_id": bench_id,
+        "protocol": protocol,
+        "config": config,
+        "num_caches": num_caches,
+        "accesses_per_cache": accesses,
+        "symmetry": symmetry,
+        "strategy": result.strategy,
+        "processes": processes,
+        "ok": result.ok,
+        "partial": result.truncated,
+        "states_explored": result.states_explored,
+        "transitions_explored": result.transitions_explored,
+        "elapsed_seconds": round(elapsed, 3),
+        "states_per_second": round(result.states_explored / elapsed) if elapsed > 0 else None,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+    target = path or results_path()
+    entries = load_results(target)
+    entries.append(entry)
+    target.write_text(json.dumps(entries, indent=2) + "\n")
+    return entry

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Perf-smoke runner: one budgeted verification, recorded to BENCH_results.json.
+
+Used by the CI perf-smoke job (and handy locally) to keep a machine-readable
+perf trajectory without running a full benchmark suite::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py \
+        --protocol MSI --config stalling --caches 3 --accesses 2 \
+        --symmetry --max-states 20000
+
+The ``--max-states`` budget exercises ``verify()``'s clean partial-result
+abort: the run stops at the budget, reports the explored prefix, and still
+records states/second.  Exit status is non-zero only when the search finds a
+real violation/error -- a partial PASS is a successful smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_reporting import record_run, results_path
+
+from repro import protocols
+from repro.core import GenerationConfig, generate
+from repro.system import System, Workload
+from repro.verification import verify
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--protocol", default="MSI",
+                        choices=protocols.available_protocols())
+    parser.add_argument("--config", default="stalling",
+                        choices=["stalling", "nonstalling"])
+    parser.add_argument("--caches", type=int, default=3)
+    parser.add_argument("--accesses", type=int, default=2)
+    parser.add_argument("--symmetry", action="store_true")
+    parser.add_argument("--strategy", default="bfs",
+                        choices=["bfs", "dfs", "parallel"])
+    parser.add_argument("--processes", type=int, default=None)
+    parser.add_argument("--max-states", type=int, default=2_000_000,
+                        help="state budget; the search aborts cleanly and "
+                             "reports a partial result once reached")
+    parser.add_argument("--bench-id", default="perf-smoke")
+    args = parser.parse_args(argv)
+
+    config = (
+        GenerationConfig.stalling()
+        if args.config == "stalling"
+        else GenerationConfig.nonstalling()
+    )
+    generated = generate(protocols.load(args.protocol), config)
+    system = System(generated, num_caches=args.caches,
+                    workload=Workload(max_accesses_per_cache=args.accesses))
+    result = verify(
+        system,
+        symmetry=args.symmetry,
+        strategy=args.strategy,
+        processes=args.processes,
+        max_states=args.max_states,
+    )
+    entry = record_run(
+        args.bench_id, result,
+        protocol=args.protocol, config=args.config,
+        num_caches=args.caches, accesses=args.accesses,
+        symmetry=args.symmetry, processes=args.processes,
+    )
+    print(f"{args.protocol}/{args.config} {args.caches}c x {args.accesses}a "
+          f"(symmetry={args.symmetry}, strategy={result.strategy}): "
+          f"{result.summary}")
+    print(f"recorded {entry['states_per_second']} states/s "
+          f"-> {results_path()}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

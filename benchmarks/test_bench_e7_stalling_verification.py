@@ -13,6 +13,7 @@ runs at one access per cache as the seed did.
 import pytest
 from conftest import banner
 
+from bench_reporting import record_run
 from repro.dsl.types import AccessKind
 from repro.system import System, Workload
 from repro.verification import verify
@@ -63,6 +64,11 @@ def test_stalling_msi_three_caches_full_workload(benchmark, generated):
         return verify(system, symmetry=True)
 
     result = benchmark.pedantic(check, rounds=1, iterations=1)
+    record_run(
+        "e7-msi-3c2a-reduced", result,
+        protocol="MSI", config="stalling",
+        num_caches=3, accesses=2, symmetry=True,
+    )
 
     banner("E7 -- stalling MSI, 3 caches x 2 accesses (symmetry-reduced)")
     print(f"  {result.summary}")

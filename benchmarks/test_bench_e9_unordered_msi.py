@@ -15,6 +15,7 @@ exact state counts -- instead of documenting the failure.
 
 from conftest import banner
 
+from bench_reporting import record_run
 from repro.dsl.types import AccessKind
 from repro.system import System, Workload
 from repro.verification import verify
@@ -62,6 +63,16 @@ def test_unordered_msi_verification(benchmark, generated):
     )
     deep_full = verify(deep_system)
     deep_reduced = verify(deep_system, symmetry=True)
+    record_run(
+        "e9-msi-unordered-3c2a-full", deep_full,
+        protocol="MSI-Unordered", config="nonstalling",
+        num_caches=3, accesses=2, symmetry=False,
+    )
+    record_run(
+        "e9-msi-unordered-3c2a-reduced", deep_reduced,
+        protocol="MSI-Unordered", config="nonstalling",
+        num_caches=3, accesses=2, symmetry=True,
+    )
 
     banner("E9 -- MSI for an unordered network")
     print(f"  cache states: {protocol.cache.num_states} "

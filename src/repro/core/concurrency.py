@@ -39,13 +39,23 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.core.config import ConcurrencyPolicy, GenerationConfig
+from repro.core.config import ConcurrencyPolicy
 from repro.core.context import CacheGenContext, TransientDescriptor
 from repro.core.fsm import FsmTransition, MessageEvent
 from repro.core.transient import emit_wait_transitions
 from repro.dsl.errors import GenerationError
 from repro.dsl.ssp import Reaction
-from repro.dsl.types import Action, PerformAccess, SaveRequestor, Send, Dest, is_data_send
+from repro.dsl.types import (
+    Action,
+    AddRequestorToSharers,
+    Dest,
+    PerformAccess,
+    RemoveRequestorFromSharers,
+    SaveRequestor,
+    Send,
+    SetOwnerToRequestor,
+    is_data_send,
+)
 
 
 def accommodate_concurrency(ctx: CacheGenContext) -> None:
@@ -288,7 +298,7 @@ def _case2_other_ordered_after(
         return
 
     immediate, deferred, save_slot = _partition_actions(
-        config, reaction.actions, descriptor.slots_used
+        ctx, reaction.actions, descriptor.slots_used
     )
     transition_actions: list[Action] = []
     slots_used = descriptor.slots_used
@@ -321,8 +331,58 @@ def _case2_other_ordered_after(
     )
 
 
+def _directory_reads_requestor(ctx: CacheGenContext, message: str) -> bool:
+    """Does any directory handler for *message* observe its requestor field?
+
+    A deferred cache response executes when the *own* transaction completes,
+    at which point the triggering message's requestor is whoever answered
+    the own request -- not the cache the redirecting forward was sent for.
+    If the directory merely banks the data (MSI's ``Fwd_GetS`` writeback),
+    the stale requestor field is inert and the generated messages can stay
+    bit-identical to the seed's; but when any directory reaction or
+    transaction trigger for *message* answers / records the requestor (the
+    MOSI owner-recall completes with ``Data -> requestor`` plus
+    ``SetOwnerToRequestor``), the original requestor must be preserved
+    through a saved slot or the directory responds to the wrong cache.
+    """
+
+    def reads(actions) -> bool:
+        for action in actions:
+            if isinstance(
+                action,
+                (SetOwnerToRequestor, AddRequestorToSharers, RemoveRequestorFromSharers),
+            ):
+                return True
+            if isinstance(action, Send) and (
+                action.to is Dest.REQUESTOR
+                or action.to is Dest.SHARERS  # targets exclude the requestor
+                or action.with_ack_count  # counts sharers minus the requestor
+            ):
+                return True
+        return False
+
+    directory = ctx.spec.directory
+    for reaction in directory.reactions:
+        if reaction.message == message and reads(reaction.actions):
+            return True
+    for transaction in directory.transactions:
+        if transaction.initiator == message and reads(transaction.issue_actions):
+            # Directory transactions are initiated by an incoming message;
+            # its requestor flows into the issue actions.
+            return True
+        for stage in transaction.stages:
+            for trigger in stage.triggers:
+                if trigger.message != message:
+                    continue
+                if reads(trigger.actions):
+                    return True
+                if trigger.completes and reads(transaction.completion_actions):
+                    return True
+    return False
+
+
 def _partition_actions(
-    config: GenerationConfig, actions: tuple[Action, ...], slots_used: int
+    ctx: CacheGenContext, actions: tuple[Action, ...], slots_used: int
 ) -> tuple[list[Action], list[Action], int | None]:
     """Split reaction actions into (immediate, deferred, requestor slot).
 
@@ -331,7 +391,15 @@ def _partition_actions(
     Responses").  Other sends are sent immediately under the
     NONSTALLING_IMMEDIATE policy and deferred under NONSTALLING_DEFERRED.
     Non-send bookkeeping is applied at completion time.
+
+    Deferred sends lose the redirecting message by the time they execute, so
+    any requestor information they need is banked in a saved slot:
+    responses *to* the requestor address it through ``requestor_slot``, and
+    responses to the directory whose requestor field the directory actually
+    reads (:func:`_directory_reads_requestor`) carry it through
+    ``requestor_from_slot``.
     """
+    config = ctx.config
     immediate: list[Action] = []
     deferred: list[Action] = []
     save_slot: int | None = None
@@ -345,6 +413,12 @@ def _partition_actions(
                     if save_slot is None:
                         save_slot = slots_used
                     action = replace(action, requestor_slot=save_slot)
+                elif action.to is Dest.DIRECTORY and _directory_reads_requestor(
+                    ctx, action.message
+                ):
+                    if save_slot is None:
+                        save_slot = slots_used
+                    action = replace(action, requestor_from_slot=save_slot)
                 deferred.append(action)
             else:
                 immediate.append(action)

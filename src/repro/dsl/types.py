@@ -113,6 +113,13 @@ class Send(Action):
     # Set by the generator for Case-2 deferred responses: the index of the
     # saved-requestor slot that holds the destination cache ID.
     requestor_slot: int | None = None
+    # Set by the generator for Case-2 deferred responses whose *requestor
+    # field* must name the cache the redirecting forward was sent for (not
+    # the requestor of whatever message completes the own transaction): the
+    # index of the saved-requestor slot holding that cache ID.  Needed when
+    # the response travels to the directory, which reads the requestor to
+    # answer / record the right cache (e.g. MOSI's owner-recall Data).
+    requestor_from_slot: int | None = None
 
     def renamed(self, new_message: str) -> "Send":
         return Send(
@@ -122,6 +129,7 @@ class Send(Action):
             with_ack_count=self.with_ack_count,
             recipient_state=self.recipient_state,
             requestor_slot=self.requestor_slot,
+            requestor_from_slot=self.requestor_from_slot,
         )
 
 
@@ -224,6 +232,8 @@ def describe_action(action: Action) -> str:
         if action.requestor_slot is not None:
             dest = f"saved requestor[{action.requestor_slot}]"
         parts.append(f"to {dest}")
+        if action.requestor_from_slot is not None:
+            parts.append(f"as saved requestor[{action.requestor_from_slot}]")
         return " ".join(parts)
     if isinstance(action, SetOwnerToRequestor):
         return "Owner := requestor"

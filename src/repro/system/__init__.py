@@ -1,5 +1,6 @@
 """Execution substrate: caches, directory, interconnect, whole-system model."""
 
+from repro.system.codec import StateCodec
 from repro.system.message import DIRECTORY_ID, Message
 from repro.system.network import Network, OrderedNetwork, UnorderedNetwork, make_network
 from repro.system.node_state import CacheNodeState, DirectoryNodeState
@@ -26,6 +27,7 @@ __all__ = [
     "Observation",
     "OrderedNetwork",
     "ProtocolRuntimeError",
+    "StateCodec",
     "StepOutcome",
     "System",
     "SystemEvent",

@@ -1,0 +1,337 @@
+"""Compact integer encoding of global states (the Murphi bit-vector analogue).
+
+The verification engine used to hash, store, and ship whole ``GlobalState``
+object trees.  Murphi is fast precisely because its states are packed
+bit-vectors; this module provides the same representation shift for the
+reproduction: a :class:`StateCodec` built from a :class:`~repro.system.system.System`
+maps every global state to a flat tuple of small non-negative integers (and
+on to ``bytes``), and back.
+
+The encoding is designed around three invariants the engine relies on:
+
+1. **Bijective.**  ``decode(encode(s)) == s`` exactly, so de-duplicating on
+   encodings preserves the seed explorer's bit-identical state counts and
+   counterexample traces still replay through ``System.apply``.
+2. **Order-isomorphic.**  Every component section compares (as an int tuple)
+   exactly like the component's ``sort_key()``: FSM states and message types
+   are indexed through *sorted* name lists, optional ints are shifted so
+   ``None`` lands below every real value, sharer sets become zero-padded
+   ascending runs.  Canonicalization (pick the permutation minimizing the
+   state key) can therefore run entirely on encoded arrays and still pick
+   the *same* representative as the object-level oracle
+   (:func:`repro.verification.engine.canonical.canonicalize_bruteforce`).
+3. **Relabelable.**  Cache-ID permutations apply directly to the encoded
+   form (:meth:`StateCodec.relabel`): cache blocks move to their permuted
+   positions, saved-requestor slots, directory owner/sharers and message
+   endpoints are remapped in place, and order-normalized sections (sharers,
+   channels, unordered messages) are re-sorted.
+
+Layout (all values fit ``array('H')``, i.e. ``< 2**16``)::
+
+    [cache 0 block | ... | cache n-1 block | directory block |
+     latest_version | network section]
+
+with fixed-width cache/directory blocks (:data:`~repro.system.node_state.CACHE_ENCODED_WIDTH`,
+``3 + num_caches``) and a variable-length network section (message records
+are :data:`~repro.system.message.MESSAGE_ENCODED_WIDTH` ints).  The packed
+``bytes`` form (:meth:`StateCodec.pack`) is what the visited set keys on and
+what the parallel search ships between processes.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.dsl.types import AccessKind
+from repro.system.message import (
+    MESSAGE_ENCODED_WIDTH,
+    Message,
+    decode_message,
+    relabel_encoded_message,
+)
+from repro.system.network import Network, OrderedNetwork, UnorderedNetwork
+from repro.system.node_state import (
+    CACHE_ENCODED_WIDTH,
+    NUM_SAVED_SLOTS,
+    CacheNodeState,
+    DirectoryNodeState,
+    decode_cache_block,
+    decode_directory_block,
+)
+from repro.system.system import DeliverMessage, GlobalState, IssueAccess, SystemEvent
+
+#: First saved-requestor slot inside a cache block.
+_SAVED_OFFSET = 5
+
+#: Bound on per-component memo tables (a few MB at most; cleared when hit).
+_MEMO_LIMIT = 1 << 20
+
+
+class StateCodec:
+    """Bidirectional ``GlobalState`` <-> flat-int-tuple <-> ``bytes`` codec."""
+
+    def __init__(self, protocol, num_caches: int, *, ordered: bool):
+        self.num_caches = num_caches
+        self.ordered = ordered
+        self.cache_states: tuple[str, ...] = tuple(sorted(protocol.cache.state_names()))
+        self.dir_states: tuple[str, ...] = tuple(sorted(protocol.directory.state_names()))
+        self.mtypes: tuple[str, ...] = tuple(sorted(protocol.messages.names()))
+        self.access_kinds: tuple[AccessKind, ...] = tuple(
+            sorted(AccessKind, key=lambda a: a.value)
+        )
+        self._cache_index = {name: i for i, name in enumerate(self.cache_states)}
+        self._dir_index = {name: i for i, name in enumerate(self.dir_states)}
+        self._mtype_index = {name: i for i, name in enumerate(self.mtypes)}
+        self._access_index = {kind: i for i, kind in enumerate(self.access_kinds)}
+        if max(len(self.cache_states), len(self.dir_states), len(self.mtypes)) >= 0xFFFF:
+            raise ValueError("protocol too large for the 16-bit state encoding")
+
+        self.cache_width = CACHE_ENCODED_WIDTH
+        self.dir_offset = num_caches * CACHE_ENCODED_WIDTH
+        self.dir_width = 3 + num_caches
+        self.version_offset = self.dir_offset + self.dir_width
+        self.net_offset = self.version_offset + 1
+
+        # Sub-object memo tables: node states, networks and messages recur
+        # across huge numbers of global states, so encoding each distinct
+        # component once and reusing the tuple keeps `encode` off the
+        # dataclass-walking slow path.
+        self._cache_memo: dict[CacheNodeState, tuple] = {}
+        self._dir_memo: dict[DirectoryNodeState, tuple] = {}
+        self._net_memo: dict[Network, tuple] = {}
+        self._dec_cache_memo: dict[tuple, CacheNodeState] = {}
+        self._dec_dir_memo: dict[tuple, DirectoryNodeState] = {}
+
+    @classmethod
+    def for_system(cls, system) -> "StateCodec":
+        return cls(system.protocol, system.num_caches, ordered=system.ordered)
+
+    # -- encoding ----------------------------------------------------------------
+    def encode(self, state: GlobalState) -> tuple:
+        """Flat int-tuple encoding of *state* (bijective; see module docs)."""
+        out: list[int] = []
+        cache_memo = self._cache_memo
+        for cache in state.caches:
+            block = cache_memo.get(cache)
+            if block is None:
+                if len(cache_memo) >= _MEMO_LIMIT:
+                    cache_memo.clear()
+                block = cache.encoded(self._cache_index, self._access_index)
+                cache_memo[cache] = block
+            out.extend(block)
+        directory = state.directory
+        dir_block = self._dir_memo.get(directory)
+        if dir_block is None:
+            if len(self._dir_memo) >= _MEMO_LIMIT:
+                self._dir_memo.clear()
+            dir_block = directory.encoded(self._dir_index, self.num_caches)
+            self._dir_memo[directory] = dir_block
+        out.extend(dir_block)
+        out.append(state.latest_version)
+        network = state.network
+        net_section = self._net_memo.get(network)
+        if net_section is None:
+            if len(self._net_memo) >= _MEMO_LIMIT:
+                self._net_memo.clear()
+            net_section = network.encoded(self._mtype_index)
+            self._net_memo[network] = net_section
+        out.extend(net_section)
+        return tuple(out)
+
+    def decode(self, enc: tuple) -> GlobalState:
+        """Exact inverse of :meth:`encode`."""
+        width = self.cache_width
+        caches = []
+        for i in range(self.num_caches):
+            block = enc[i * width : (i + 1) * width]
+            cache = self._dec_cache_memo.get(block)
+            if cache is None:
+                if len(self._dec_cache_memo) >= _MEMO_LIMIT:
+                    self._dec_cache_memo.clear()
+                cache = decode_cache_block(block, self.cache_states, self.access_kinds)
+                self._dec_cache_memo[block] = cache
+            caches.append(cache)
+        dir_block = enc[self.dir_offset : self.version_offset]
+        directory = self._dec_dir_memo.get(dir_block)
+        if directory is None:
+            if len(self._dec_dir_memo) >= _MEMO_LIMIT:
+                self._dec_dir_memo.clear()
+            directory = decode_directory_block(dir_block, self.dir_states)
+            self._dec_dir_memo[dir_block] = directory
+        network_cls = OrderedNetwork if self.ordered else UnorderedNetwork
+        return GlobalState(
+            caches=tuple(caches),
+            directory=directory,
+            network=network_cls.from_encoded(enc, self.net_offset, self.mtypes),
+            latest_version=enc[self.version_offset],
+        )
+
+    # -- bytes packing -----------------------------------------------------------
+    @staticmethod
+    def pack(enc: tuple) -> bytes:
+        """Pack an encoding into ``bytes`` (the visited-set / IPC form)."""
+        return array("H", enc).tobytes()
+
+    @staticmethod
+    def unpack(packed: bytes) -> tuple:
+        """Inverse of :meth:`pack`."""
+        values = array("H")
+        values.frombytes(packed)
+        return tuple(values)
+
+    # -- relabeling --------------------------------------------------------------
+    def relabel(self, enc: tuple, perm: tuple[int, ...]) -> tuple:
+        """``encode(decode(enc).relabeled(perm))`` computed on the encoding."""
+        width = self.cache_width
+        blocks: list[tuple | None] = [None] * self.num_caches
+        for old in range(self.num_caches):
+            block = enc[old * width : (old + 1) * width]
+            saved = block[_SAVED_OFFSET : _SAVED_OFFSET + NUM_SAVED_SLOTS]
+            if any(saved):
+                block = (
+                    block[:_SAVED_OFFSET]
+                    + tuple(s if s == 0 else perm[s - 1] + 1 for s in saved)
+                    + block[_SAVED_OFFSET + NUM_SAVED_SLOTS :]
+                )
+            blocks[perm[old]] = block
+        out: list[int] = []
+        for block in blocks:
+            out.extend(block)  # type: ignore[arg-type]
+        out.extend(self._relabeled_dir_block(enc, perm))
+        out.append(enc[self.version_offset])
+        out.extend(self._relabeled_net_section(self.network_items(enc), perm))
+        return tuple(out)
+
+    def _relabeled_dir_block(self, enc: tuple, perm: tuple[int, ...]) -> tuple:
+        block = enc[self.dir_offset : self.version_offset]
+        owner = block[1]
+        if owner >= 2:
+            owner = perm[owner - 2] + 2
+        sharers = sorted(
+            s if s - 2 < 0 else perm[s - 2] + 2 for s in block[2:-1] if s != 0
+        )
+        return (
+            block[0],
+            owner,
+            *sharers,
+            *((0,) * (self.num_caches - len(sharers))),
+            block[-1],
+        )
+
+    # -- network section helpers --------------------------------------------------
+    def network_items(self, enc: tuple):
+        """Parse the network section once for reuse across permutations.
+
+        Ordered networks yield ``[(src, dst, vnet, (msg record, ...)), ...]``
+        (encoded node IDs, FIFO message order); unordered networks yield a
+        flat list of message records.
+        """
+        pos = self.net_offset
+        count = enc[pos]
+        pos += 1
+        mw = MESSAGE_ENCODED_WIDTH
+        if not self.ordered:
+            return [enc[pos + i * mw : pos + (i + 1) * mw] for i in range(count)]
+        items = []
+        for _ in range(count):
+            src, dst, vnet, nmsgs = enc[pos : pos + 4]
+            pos += 4
+            msgs = tuple(enc[pos + i * mw : pos + (i + 1) * mw] for i in range(nmsgs))
+            pos += nmsgs * mw
+            items.append((src, dst, vnet, msgs))
+        return items
+
+    def _relabeled_net_section(self, items, perm: tuple[int, ...]) -> list[int]:
+        out = [len(items)]
+        if not self.ordered:
+            for record in sorted(relabel_encoded_message(m, perm) for m in items):
+                out.extend(record)
+            return out
+        relabeled = []
+        for src, dst, vnet, msgs in items:
+            relabeled.append(
+                (
+                    src if src - 2 < 0 else perm[src - 2] + 2,
+                    dst if dst - 2 < 0 else perm[dst - 2] + 2,
+                    vnet,
+                    tuple(relabel_encoded_message(m, perm) for m in msgs),
+                )
+            )
+        relabeled.sort(key=lambda item: item[:3])
+        for src, dst, vnet, msgs in relabeled:
+            out.extend((src, dst, vnet, len(msgs)))
+            for record in msgs:
+                out.extend(record)
+        return out
+
+    # -- canonicalization keys -----------------------------------------------------
+    def cache_blocks(self, enc: tuple) -> list[tuple]:
+        """The per-cache fixed-width blocks (order-isomorphic signatures)."""
+        width = self.cache_width
+        return [enc[i * width : (i + 1) * width] for i in range(self.num_caches)]
+
+    def has_saved_ids(self, enc: tuple) -> bool:
+        """True when any cache block holds a saved requestor ID (these states
+        have permutation-dependent signatures and take the brute-force path)."""
+        width = self.cache_width
+        for i in range(self.num_caches):
+            base = i * width + _SAVED_OFFSET
+            if any(enc[base : base + NUM_SAVED_SLOTS]):
+                return True
+        return False
+
+    def relabeled_directory_key(self, enc: tuple, perm: tuple[int, ...]) -> tuple:
+        """Order-isomorphic to ``DirectoryNodeState.relabeled_sort_key(perm)``."""
+        return self._relabeled_dir_block(enc, perm)
+
+    def relabeled_network_key(self, items, perm: tuple[int, ...]) -> tuple:
+        """Order-isomorphic to ``Network.relabeled_sort_key(perm)``.
+
+        *items* is the output of :meth:`network_items`; the nested tuple
+        shape mirrors the object-level key exactly (channels sorted by their
+        relabeled channel key, message records compared field by field), so
+        minimizing over permutations picks the same winner.
+        """
+        if not self.ordered:
+            return tuple(sorted(relabel_encoded_message(m, perm) for m in items))
+        return tuple(
+            sorted(
+                (
+                    (
+                        (
+                            src if src - 2 < 0 else perm[src - 2] + 2,
+                            dst if dst - 2 < 0 else perm[dst - 2] + 2,
+                            vnet,
+                        ),
+                        tuple(relabel_encoded_message(m, perm) for m in msgs),
+                    )
+                    for src, dst, vnet, msgs in items
+                ),
+                key=lambda item: item[0],
+            )
+        )
+
+    # -- events ------------------------------------------------------------------
+    def encode_event(self, event: SystemEvent) -> tuple:
+        """Flat int encoding of a system event (for cross-process records)."""
+        if isinstance(event, IssueAccess):
+            return (0, event.cache_id, self._access_index[event.access])
+        if isinstance(event, DeliverMessage):
+            return (1, *event.message.encoded(self._mtype_index))
+        raise TypeError(f"unknown event {event!r}")
+
+    def decode_event(self, fields: tuple) -> SystemEvent:
+        """Inverse of :meth:`encode_event`."""
+        if fields[0] == 0:
+            return IssueAccess(cache_id=fields[1], access=self.access_kinds[fields[2]])
+        return DeliverMessage(message=decode_message(fields[1:], self.mtypes))
+
+    # -- conveniences ---------------------------------------------------------------
+    def encode_packed(self, state: GlobalState) -> bytes:
+        return self.pack(self.encode(state))
+
+    def decode_packed(self, packed: bytes) -> GlobalState:
+        return self.decode(self.unpack(packed))
+
+
+__all__ = ["StateCodec"]

@@ -246,10 +246,21 @@ def _cache_send(
         )
     # Responses sent while handling a forwarded request keep the original
     # requestor; messages the cache originates on its own behalf carry its own
-    # id (so the directory knows whom to respond to).
-    requestor = message.requestor if message is not None else cache_id
-    if requestor is None:
-        requestor = cache_id
+    # id (so the directory knows whom to respond to).  Deferred responses
+    # execute when the *own* transaction completes, so the redirecting
+    # forward's requestor -- banked in a saved slot at redirect time -- takes
+    # precedence over the completion message's.
+    if action.requestor_from_slot is not None:
+        requestor = node.saved[action.requestor_from_slot]
+        if requestor is None:
+            raise ProtocolRuntimeError(
+                f"cache {cache_id}: deferred response {action.message} has no "
+                f"saved requestor to send on behalf of"
+            )
+    else:
+        requestor = message.requestor if message is not None else cache_id
+        if requestor is None:
+            requestor = cache_id
     return Message(
         mtype=action.message,
         src=cache_id,

@@ -51,6 +51,48 @@ def relabeled_message_sort_key(message: "Message", perm: tuple[int, ...]) -> tup
     )
 
 
+#: Number of integers in one encoded message record (see :meth:`Message.encoded`).
+MESSAGE_ENCODED_WIDTH = 10
+
+
+def decode_message(fields: tuple, mtypes: tuple[str, ...]) -> "Message":
+    """Inverse of :meth:`Message.encoded` (*fields* is one 10-int record)."""
+
+    def pair(flag: int, value: int) -> int | None:
+        return None if flag == 0 else value - 2
+
+    return Message(
+        mtype=mtypes[fields[0]],
+        src=fields[1] - 2,
+        dst=fields[2] - 2,
+        vnet=fields[3],
+        requestor=pair(fields[4], fields[5]),
+        data=pair(fields[6], fields[7]),
+        ack_count=pair(fields[8], fields[9]),
+    )
+
+
+def relabel_encoded_message(fields: tuple, perm: tuple[int, ...]) -> tuple:
+    """``message.relabeled(perm).encoded(...)`` computed on the encoded record."""
+
+    def node(e: int) -> int:
+        raw = e - 2
+        return perm[raw] + 2 if raw >= 0 else e
+
+    requestor = fields[5]
+    if fields[4] == 1 and requestor - 2 >= 0:
+        requestor = perm[requestor - 2] + 2
+    return (
+        fields[0],
+        node(fields[1]),
+        node(fields[2]),
+        fields[3],
+        fields[4],
+        requestor,
+        *fields[6:],
+    )
+
+
 @dataclass(frozen=True)
 class Message:
     """One coherence message in flight.
@@ -93,6 +135,32 @@ class Message:
 
     def redirect(self, dst: int) -> "Message":
         return replace(self, dst=dst)
+
+    def encoded(self, mtype_index: dict[str, int]) -> tuple:
+        """Flat 10-int record, order-isomorphic to :func:`message_sort_key`.
+
+        Field layout mirrors the sort key position by position: the message
+        type becomes its index in the *sorted* type catalog (so integer order
+        matches string order), node IDs are shifted by +2 (the directory's
+        ``-1`` stays representable and ordering is preserved), and each
+        optional field becomes a ``(flag, value)`` pair exactly like the
+        ``k()`` helper of the sort key.  Comparing two encoded records
+        therefore gives the same answer as comparing the two messages'
+        sort keys -- the property the encoded canonicalization relies on.
+        """
+
+        def pair(value: int | None) -> tuple[int, int]:
+            return (0, 0) if value is None else (1, value + 2)
+
+        return (
+            mtype_index[self.mtype],
+            self.src + 2,
+            self.dst + 2,
+            self.vnet,
+            *pair(self.requestor),
+            *pair(self.data),
+            *pair(self.ack_count),
+        )
 
     def relabeled(self, perm: tuple[int, ...]) -> "Message":
         """Remap every cache-ID field through *perm* (``perm[old] = new``).

@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.system.message import Message, message_sort_key, relabeled_message_sort_key
+from repro.system.message import (
+    MESSAGE_ENCODED_WIDTH,
+    Message,
+    decode_message,
+    message_sort_key,
+    relabeled_message_sort_key,
+)
 
 
 class Network:
@@ -63,6 +69,11 @@ class Network:
         directly avoids materializing relabeled message and network objects
         on the search hot path.
         """
+        raise NotImplementedError
+
+    def encoded(self, mtype_index: dict[str, int]) -> tuple:
+        """Flat variable-length int section (codec hook; see
+        :mod:`repro.system.codec` for the layout and its invariants)."""
         raise NotImplementedError
 
 
@@ -155,6 +166,35 @@ class OrderedNetwork(Network):
             )
         )
 
+    def encoded(self, mtype_index: dict[str, int]) -> tuple:
+        """``(n_channels, then per channel: src+2, dst+2, vnet, count, msgs...)``.
+
+        Channels appear in their stored order (sorted by raw channel key,
+        which the +2 shift preserves); messages keep their FIFO order within
+        a channel.
+        """
+        out = [len(self.channels)]
+        for (src, dst, vnet), msgs in self.channels:
+            out.extend((src + 2, dst + 2, vnet, len(msgs)))
+            for m in msgs:
+                out.extend(m.encoded(mtype_index))
+        return tuple(out)
+
+    @staticmethod
+    def from_encoded(fields: tuple, offset: int, mtypes: tuple[str, ...]) -> "OrderedNetwork":
+        """Inverse of :meth:`encoded`, reading from ``fields[offset:]``."""
+        channels = []
+        pos = offset + 1
+        for _ in range(fields[offset]):
+            src, dst, vnet, count = fields[pos : pos + 4]
+            pos += 4
+            msgs = []
+            for _ in range(count):
+                msgs.append(decode_message(fields[pos : pos + MESSAGE_ENCODED_WIDTH], mtypes))
+                pos += MESSAGE_ENCODED_WIDTH
+            channels.append(((src - 2, dst - 2, vnet), tuple(msgs)))
+        return OrderedNetwork(channels=tuple(channels))
+
 
 @dataclass(frozen=True)
 class UnorderedNetwork(Network):
@@ -211,6 +251,28 @@ class UnorderedNetwork(Network):
         return tuple(
             sorted(relabeled_message_sort_key(m, perm) for m in self.messages)
         )
+
+    def encoded(self, mtype_index: dict[str, int]) -> tuple:
+        """``(n_messages, then the message records in stored order)``.
+
+        The stored order is already sorted by :func:`message_sort_key`, and
+        encoded records are order-isomorphic to that key, so the section is
+        sorted under integer comparison too.
+        """
+        out = [len(self.messages)]
+        for m in self.messages:
+            out.extend(m.encoded(mtype_index))
+        return tuple(out)
+
+    @staticmethod
+    def from_encoded(fields: tuple, offset: int, mtypes: tuple[str, ...]) -> "UnorderedNetwork":
+        """Inverse of :meth:`encoded`, reading from ``fields[offset:]``."""
+        messages = []
+        pos = offset + 1
+        for _ in range(fields[offset]):
+            messages.append(decode_message(fields[pos : pos + MESSAGE_ENCODED_WIDTH], mtypes))
+            pos += MESSAGE_ENCODED_WIDTH
+        return UnorderedNetwork(messages=tuple(messages))
 
 
 def make_network(ordered: bool) -> Network:

@@ -23,6 +23,36 @@ from repro.dsl.types import AccessKind
 #: the bound for MOESIF-style protocols.
 NUM_SAVED_SLOTS = 4
 
+#: Width of one encoded cache block (see :meth:`CacheNodeState.encoded`).
+CACHE_ENCODED_WIDTH = 7 + NUM_SAVED_SLOTS
+
+
+def decode_cache_block(
+    block: tuple, state_names: tuple[str, ...], access_kinds: tuple
+) -> "CacheNodeState":
+    """Inverse of :meth:`CacheNodeState.encoded`."""
+    pending = block[5 + NUM_SAVED_SLOTS]
+    return CacheNodeState(
+        fsm_state=state_names[block[0]],
+        issued=block[1],
+        data=None if block[2] == 0 else block[2] - 1,
+        acks_expected=None if block[3] == 0 else block[3] - 1,
+        acks_received=block[4],
+        saved=tuple(None if s == 0 else s - 1 for s in block[5 : 5 + NUM_SAVED_SLOTS]),
+        pending_access=None if pending == 0 else access_kinds[pending - 1],
+        last_observed=block[6 + NUM_SAVED_SLOTS] - 1,
+    )
+
+
+def decode_directory_block(block: tuple, state_names: tuple[str, ...]) -> "DirectoryNodeState":
+    """Inverse of :meth:`DirectoryNodeState.encoded` (*block* has ``3 + n`` ints)."""
+    return DirectoryNodeState(
+        fsm_state=state_names[block[0]],
+        owner=None if block[1] == 0 else block[1] - 2,
+        sharers=frozenset(s - 2 for s in block[2:-1] if s != 0),
+        memory=block[-1],
+    )
+
 
 @dataclass(frozen=True)
 class CacheNodeState:
@@ -40,7 +70,19 @@ class CacheNodeState:
     issued: int = 0
 
     def with_state(self, fsm_state: str) -> "CacheNodeState":
-        return replace(self, fsm_state=fsm_state)
+        # Direct construction: ``dataclasses.replace`` resolves fields through
+        # the descriptor machinery on every call, and this runs once per
+        # applied transition on the search hot path.
+        return CacheNodeState(
+            fsm_state=fsm_state,
+            data=self.data,
+            acks_expected=self.acks_expected,
+            acks_received=self.acks_received,
+            saved=self.saved,
+            pending_access=self.pending_access,
+            last_observed=self.last_observed,
+            issued=self.issued,
+        )
 
     def relabeled(self, perm: tuple[int, ...]) -> "CacheNodeState":
         """Remap the cache IDs in the saved-requestor slots through *perm*."""
@@ -75,6 +117,27 @@ class CacheNodeState:
             self.last_observed,
         )
 
+    def encoded(self, state_index: dict[str, int], access_index: dict) -> tuple:
+        """Flat fixed-width int block, order-isomorphic to :meth:`sort_key`.
+
+        Every field is shifted into the non-negative range by the exact
+        transformation the sort key applies plus a constant (``None`` maps
+        below every integer, the FSM state becomes its index in the *sorted*
+        state-name list so integer order matches string order), and fields
+        appear in sort-key order -- so comparing two encoded blocks compares
+        the two node states' sort keys.
+        """
+        return (
+            state_index[self.fsm_state],
+            self.issued,
+            0 if self.data is None else self.data + 1,
+            0 if self.acks_expected is None else self.acks_expected + 1,
+            self.acks_received,
+            *((0 if s is None else s + 1) for s in self.saved),
+            0 if self.pending_access is None else access_index[self.pending_access] + 1,
+            self.last_observed + 1,
+        )
+
 
 @dataclass(frozen=True)
 class DirectoryNodeState:
@@ -86,7 +149,12 @@ class DirectoryNodeState:
     memory: int = 0
 
     def with_state(self, fsm_state: str) -> "DirectoryNodeState":
-        return replace(self, fsm_state=fsm_state)
+        return DirectoryNodeState(
+            fsm_state=fsm_state,
+            owner=self.owner,
+            sharers=self.sharers,
+            memory=self.memory,
+        )
 
     def relabeled(self, perm: tuple[int, ...]) -> "DirectoryNodeState":
         """Remap the owner and sharer cache IDs through *perm*."""
@@ -111,5 +179,22 @@ class DirectoryNodeState:
             self.fsm_state,
             -2 if owner is None else owner if owner < 0 else perm[owner],
             tuple(sorted(s if s < 0 else perm[s] for s in self.sharers)),
+            self.memory,
+        )
+
+    def encoded(self, state_index: dict[str, int], num_caches: int) -> tuple:
+        """Flat ``3 + num_caches``-int block, order-isomorphic to :meth:`sort_key`.
+
+        The sharer set becomes a fixed-width ascending run padded with zeros;
+        since every encoded sharer is ``>= 2`` and a shorter sorted tuple that
+        is a prefix of a longer one must compare smaller, the zero padding
+        preserves the sort key's variable-length tuple ordering.
+        """
+        sharers = sorted(self.sharers)
+        return (
+            state_index[self.fsm_state],
+            0 if self.owner is None else self.owner + 2,
+            *(s + 2 for s in sharers),
+            *((0,) * (num_caches - len(sharers))),
             self.memory,
         )

@@ -145,11 +145,30 @@ class System:
             self._request_names = {m.name for m in protocol.messages.requests}
         except AttributeError:  # pragma: no cover - untyped message catalogs
             self._request_names = set()
+        self._codec = None
+
+    def codec(self):
+        """The :class:`~repro.system.codec.StateCodec` for this configuration.
+
+        Built lazily and cached: the codec's index tables depend only on the
+        generated protocol, the cache count and the network kind, so one
+        instance (and its sub-object memo tables) serves a whole search.
+        """
+        if self._codec is None:
+            from repro.system.codec import StateCodec
+
+            self._codec = StateCodec.for_system(self)
+        return self._codec
 
     def _tag(self, sends: tuple[Message, ...]) -> tuple[Message, ...]:
-        """Assign each outgoing message to its virtual network (0 = requests)."""
+        """Assign each outgoing message to its virtual network (0 = requests).
+
+        Messages are built with the response vnet (1), so only requests need
+        the rebuild -- responses and forwards pass through untouched.
+        """
         return tuple(
-            replace(m, vnet=0 if m.mtype in self._request_names else 1) for m in sends
+            replace(m, vnet=0) if m.mtype in self._request_names and m.vnet != 0 else m
+            for m in sends
         )
 
     # -- construction ---------------------------------------------------------

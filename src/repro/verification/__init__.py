@@ -23,6 +23,7 @@ from repro.verification.engine import (
     VerificationResult,
     canonicalize,
     canonicalize_bruteforce,
+    canonicalize_encoded,
     relabel_event,
     verify,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "VerificationResult",
     "canonicalize",
     "canonicalize_bruteforce",
+    "canonicalize_encoded",
     "default_invariants",
     "random_walk",
     "relabel_event",

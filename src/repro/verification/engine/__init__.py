@@ -22,6 +22,7 @@ from repro.verification.engine.canonical import (
     Permutation,
     canonicalize,
     canonicalize_bruteforce,
+    canonicalize_encoded,
     compose,
     identity_permutation,
     invert,
@@ -48,6 +49,7 @@ __all__ = [
     "VerificationResult",
     "canonicalize",
     "canonicalize_bruteforce",
+    "canonicalize_encoded",
     "compose",
     "identity_permutation",
     "invert",

@@ -32,7 +32,7 @@ from typing import Sequence
 from repro.system.system import GlobalState, System, SystemEvent
 from repro.verification.engine.canonical import (
     Permutation,
-    canonicalize,
+    canonicalize_encoded,
     compose,
     invert,
     relabel_event,
@@ -63,6 +63,18 @@ class VerificationResult:
     strategy: str = "bfs"
 
     @property
+    def partial(self) -> bool:
+        """True when the search stopped at the ``max_states`` budget.
+
+        A partial PASS means *no violation was found within the budget*, not
+        that the protocol is verified: only the explored prefix of the state
+        space is covered.  The perf-smoke CI job and the benchmark reporter
+        use budgeted runs; callers that need full coverage should check this
+        flag (or ``truncated``, its storage field) before trusting ``ok``.
+        """
+        return self.truncated
+
+    @property
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         extra = ""
@@ -73,7 +85,7 @@ class VerificationResult:
         elif self.deadlock:
             extra = " [deadlock]"
         if self.truncated:
-            extra += " (truncated)"
+            extra += " (partial: state budget exhausted)"
         return (
             f"{status}: {self.states_explored} states, "
             f"{self.transitions_explored} transitions, "
@@ -102,6 +114,7 @@ class Exploration:
         strategy_name: str,
     ):
         self.system = system
+        self.codec = system.codec()
         self.invariants = invariants
         self.perms = perms
         self.store = store
@@ -114,19 +127,27 @@ class Exploration:
         self.complete_states = 0
         self.truncated = False
         self.root: tuple[int, GlobalState] | None = None
+        #: Packed encoding of the (canonical) root, for strategies that ship
+        #: encoded frontiers instead of state objects.
+        self.root_key: bytes | None = None
 
     # -- setup -----------------------------------------------------------------
     def seed(self) -> VerificationResult | None:
-        """Intern the (canonicalized) initial state and check it.
+        """Intern the (canonicalized, encoded) initial state and check it.
 
         Returns a failure result if an invariant is already violated in the
         initial state, ``None`` otherwise.
         """
+        codec = self.codec
         initial = self.system.initial_state()
+        enc = codec.encode(initial)
         root_perm: Permutation | None = None
         if self.perms is not None:
-            initial, root_perm = canonicalize(initial, self.perms)
-        root_id, _ = self.store.intern(initial, perm=root_perm)
+            enc, root_perm = canonicalize_encoded(enc, codec, self.perms)
+            if root_perm != self.perms[0]:
+                initial = codec.decode(enc)
+        self.root_key = codec.pack(enc)
+        root_id, _ = self.store.intern(self.root_key, perm=root_perm)
         self.root = (root_id, initial)
         for invariant in self.invariants:
             violation = invariant(self.system, initial)
@@ -249,6 +270,13 @@ def verify(
     Parameters beyond the seed API (all optional, defaults preserve the
     seed's exact behaviour and state counts):
 
+    ``max_states``
+        State budget: the search aborts cleanly once the budget is reached
+        and returns a **partial** result (``result.partial`` /
+        ``result.truncated`` set, counters and any found violation intact)
+        instead of running unbounded.  The parallel strategy enforces the
+        budget per frontier level, so its cut can land up to one level
+        earlier than the serial strategies'.
     ``symmetry``
         Canonicalize cache IDs before de-duplication (Murphi scalarset
         reduction).  Explores one representative per cache-permutation orbit

@@ -8,18 +8,25 @@ Three strategies are provided:
 * :class:`DepthFirst` -- LIFO frontier; explores the same state set and
   reports the same verdicts, typically finding *some* counterexample sooner
   at the cost of longer traces.
-* :class:`ParallelBreadthFirst` -- level-synchronous BFS with the frontier
-  sharded across ``fork``-ed worker processes.  Workers expand states
-  (event enumeration, application, canonicalization, invariant checks); the
-  parent process de-duplicates successors into the shared store and builds
-  the next frontier, so counterexample traces work exactly as in the serial
-  strategies.  Falls back to serial BFS when ``fork`` is unavailable or
-  fewer than two workers are requested.  Around the ``max_states`` bound the
-  explored-state count may differ from the serial strategies by up to one
-  frontier level (the bound is enforced per level, not per state).
+* :class:`ParallelBreadthFirst` -- level-synchronous BFS over a
+  **persistent worker pool**.  Workers are forked once per search and hold
+  the system, the invariants and the state codec for its whole duration;
+  each level the parent ships shards of *packed state encodings* (bytes) and
+  receives records whose successors and events are encoded too -- no pickled
+  object graphs ever cross the process boundary.  Workers keep a persistent
+  per-shard seen-set, so a canonical state rediscovered in any later level
+  is suppressed at the source instead of being re-shipped; the parent
+  de-duplicates the survivors into the shared store and builds the next
+  frontier, which keeps counterexample traces working exactly as in the
+  serial strategies.  Falls back to serial BFS when ``fork`` is unavailable
+  or fewer than two workers are requested.  Around the ``max_states`` bound
+  the explored-state count may differ from the serial strategies by up to
+  one frontier level (the bound is enforced per level, not per state).
 
 Every strategy operates on an :class:`~repro.verification.engine.core.Exploration`
-context, so results are identically shaped regardless of how the search ran.
+context; states are de-duplicated on their packed codec encodings
+(:mod:`repro.system.codec`), so results are identically shaped regardless of
+how the search ran.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ import multiprocessing
 import os
 from collections import deque
 
-from repro.verification.engine.canonical import canonicalize
+from repro.verification.engine.canonical import canonicalize_encoded
 
 # -- worker-process state (populated via fork + Pool initializer) --------------
 
@@ -36,34 +43,45 @@ _WORKER: tuple | None = None
 
 
 def _init_worker(system, invariants, perms) -> None:
+    """Install the per-process search context (runs once per worker).
+
+    The codec is (re)built here rather than inherited so each worker owns
+    private memo tables; with the ``fork`` start method the system and
+    invariants arrive by address-space inheritance, never by pickling.
+    """
     global _WORKER
-    _WORKER = (system, invariants, perms)
+    _WORKER = (system, invariants, perms, system.codec(), set())
 
 
 def _expand_batch(batch):
-    """Expand a batch of ``(state_id, state)`` pairs in a worker process.
+    """Expand a batch of ``(state_id, packed_encoding)`` pairs in a worker.
 
     Returns one record per state, in input order:
 
     * ``("leaf", sid, quiescent)`` -- no enabled events;
     * ``("exp", sid, applied, succs, err)`` -- ``succs`` is a list of
-      ``(event, canonical_successor, perm, violation)`` and ``err`` is
-      ``None`` or ``(event, error_message)`` for an event whose application
-      failed (expansion of that state stops there, as in the serial search).
+      ``(encoded_event, packed_successor, perm, violation)`` and ``err`` is
+      ``None`` or ``(encoded_event, error_message)`` for an event whose
+      application failed (expansion of that state stops there, as in the
+      serial search).
 
-    Canonicalization is batched: successors are canonicalized and
-    de-duplicated across the whole shard before anything is pickled back, so
-    a canonical state reached through several transitions of the shard
-    crosses the process boundary once.  The parent's intern loop would have
-    discarded the duplicates anyway (``is_new=False``); suppressing them in
-    the worker amortizes the per-level IPC instead of paying it per
-    transition.  ``applied`` still counts every applied event, so transition
-    counts match the serial strategies.
+    De-duplication is persistent per worker: the seen-set carries over
+    between levels, so a canonical state this worker has emitted in *any*
+    earlier batch crosses the process boundary exactly once.  The parent's
+    intern loop would have discarded the duplicates anyway (``is_new=False``);
+    suppressing them at the source amortizes the IPC.  ``applied`` still
+    counts every applied event, so transition counts match the serial
+    strategies.
     """
-    system, invariants, perms = _WORKER
+    system, invariants, perms, codec, seen = _WORKER
+    identity = perms[0] if perms is not None else None
+    decode_packed = codec.decode_packed
+    encode = codec.encode
+    pack = codec.pack
+    encode_event = codec.encode_event
     records = []
-    emitted: set = set()
-    for sid, state in batch:
+    for sid, key in batch:
+        state = decode_packed(key)
         events = system.enabled_events(state)
         if not events:
             records.append(("leaf", sid, system.is_quiescent(state)))
@@ -75,23 +93,27 @@ def _expand_batch(batch):
             applied += 1
             outcome = system.apply(state, event)
             if outcome.error is not None:
-                err = (event, outcome.error)
+                err = (encode_event(event), outcome.error)
                 break
-            successor = outcome.state
+            enc = encode(outcome.state)
             perm = None
             if perms is not None:
-                successor, perm = canonicalize(successor, perms)
-            if successor in emitted:
+                enc, perm = canonicalize_encoded(enc, codec, perms, outcome.state)
+            successor_key = pack(enc)
+            if successor_key in seen:
                 # Invariants are functions of the state alone, so the first
-                # emission already carries this state's verdict.
+                # emission already carried this state's verdict.
                 continue
-            emitted.add(successor)
+            seen.add(successor_key)
+            successor = (
+                outcome.state if perm is None or perm == identity else codec.decode(enc)
+            )
             violation = None
             for invariant in invariants:
                 violation = invariant(system, successor)
                 if violation is not None:
                     break
-            succs.append((event, successor, perm, violation))
+            succs.append((encode_event(event), successor_key, perm, violation))
         records.append(("exp", sid, applied, succs, err))
     return records
 
@@ -109,16 +131,29 @@ class SearchStrategy:
 
 
 def _run_serial(ctx, *, lifo: bool):
-    """Shared serial worklist search (FIFO = BFS, LIFO = DFS)."""
+    """Shared serial worklist search (FIFO = BFS, LIFO = DFS).
+
+    The frontier holds decoded canonical state objects (expansion needs
+    them); the visited set holds only packed encodings.  With symmetry off
+    the raw successor *is* canonical, so no state is ever re-decoded; with
+    symmetry on, only genuinely new representatives that changed under
+    relabeling pay a decode.
+    """
     system = ctx.system
+    codec = ctx.codec
+    store = ctx.store
+    perms = ctx.perms
+    identity = perms[0] if perms is not None else None
+    encode = codec.encode
+    pack = codec.pack
     frontier: deque = deque([ctx.root])
     pop = frontier.pop if lifo else frontier.popleft
     while frontier:
         sid, state = pop()
-        ctx.explored += 1
-        if ctx.explored > ctx.max_states:
+        if ctx.explored >= ctx.max_states:
             ctx.truncated = True
             break
+        ctx.explored += 1
         events = system.enabled_events(state)
         if not events:
             # A state with no enabled events is fine if nothing is actually
@@ -135,14 +170,15 @@ def _run_serial(ctx, *, lifo: bool):
             if outcome.error is not None:
                 return ctx.failure(error=outcome.error, leaf_id=sid, final_event=event)
             successor = outcome.state
+            enc = encode(successor)
             perm = None
-            if ctx.perms is not None:
-                successor, perm = canonicalize(successor, ctx.perms)
-            new_id, is_new = ctx.store.intern(
-                successor, parent=sid, event=event, perm=perm
-            )
+            if perms is not None:
+                enc, perm = canonicalize_encoded(enc, codec, perms, successor)
+            new_id, is_new = store.intern(pack(enc), parent=sid, event=event, perm=perm)
             if not is_new:
                 continue
+            if perm is not None and perm != identity:
+                successor = codec.decode(enc)
             for invariant in ctx.invariants:
                 violation = invariant(system, successor)
                 if violation is not None:
@@ -166,7 +202,7 @@ class DepthFirst(SearchStrategy):
 
 
 class ParallelBreadthFirst(SearchStrategy):
-    """Level-synchronous BFS over a work-sharded frontier."""
+    """Level-synchronous BFS over a work-sharded encoded frontier."""
 
     name = "parallel"
 
@@ -182,7 +218,8 @@ class ParallelBreadthFirst(SearchStrategy):
         if processes <= 1:
             return self._fallback(ctx)
 
-        frontier = [ctx.root]
+        root_id, _ = ctx.root
+        frontier = [(root_id, ctx.root_key)]
         with mp.Pool(
             processes,
             initializer=_init_worker,
@@ -230,20 +267,24 @@ class ParallelBreadthFirst(SearchStrategy):
             return None
         _, sid, applied, succs, err = record
         ctx.transitions += applied
-        for event, successor, perm, violation in succs:
+        decode_event = ctx.codec.decode_event
+        for encoded_event, successor_key, perm, violation in succs:
             new_id, is_new = ctx.store.intern(
-                successor, parent=sid, event=event, perm=perm
+                successor_key, parent=sid, event=decode_event(encoded_event), perm=perm
             )
             if violation is not None:
-                # The worker checks invariants before de-duplication; a hit on
-                # an already-known state is still a valid counterexample (the
-                # stored chain reaches the same canonical state).
+                # The worker checks invariants before cross-worker dedup; a
+                # hit on an already-known state is still a valid
+                # counterexample (the stored chain reaches the same canonical
+                # state).
                 return ctx.failure(violation=violation, leaf_id=new_id)
             if is_new:
-                next_frontier.append((new_id, successor))
+                next_frontier.append((new_id, successor_key))
         if err is not None:
-            event, message = err
-            return ctx.failure(error=message, leaf_id=sid, final_event=event)
+            encoded_event, message = err
+            return ctx.failure(
+                error=message, leaf_id=sid, final_event=decode_event(encoded_event)
+            )
         return None
 
 

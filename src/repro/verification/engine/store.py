@@ -14,11 +14,18 @@ and records the search tree column-wise:
   successor into the stored representative (``None`` when symmetry reduction
   is off or the successor was already canonical).
 
+Since the encoded-state core landed, the search strategies intern the
+**packed codec encoding** (:meth:`repro.system.codec.StateCodec.pack`) of
+each canonical state rather than the object tree: the visited set then keys
+on compact ``bytes``, which hash at C speed and cost tens of bytes per state
+instead of kilobytes of linked dataclasses.  The store itself is agnostic --
+any hashable key works, so object-keyed use (tests, tooling) stays valid.
+
 Because traces are rebuilt by *replaying events* (not by reading back stored
 states), the store also supports **hash compaction**: instead of keying the
-intern table by the state object it can key by a 128-bit BLAKE2b digest of
-the state's sort key, cutting resident memory for big runs at a vanishing
-collision risk -- the same trade Murphi offers with ``-b``/hash compaction.
+intern table by the full key it can key by a 128-bit BLAKE2b digest, cutting
+resident memory for big runs at a vanishing collision risk -- the same trade
+Murphi offers with ``-b``/hash compaction.
 """
 
 from __future__ import annotations
@@ -45,22 +52,30 @@ class StateStore:
         self._event: list[SystemEvent | None] = []
         self._perm: list[Permutation | None] = []
 
-    def _key(self, state: GlobalState) -> object:
+    def _key(self, state: object) -> object:
         if not self.hash_compaction:
             return state
-        return hashlib.blake2b(
-            repr(state.sort_key()).encode(), digest_size=16
-        ).digest()
+        if isinstance(state, bytes):
+            material = state
+        elif isinstance(state, GlobalState):
+            material = repr(state.sort_key()).encode()
+        else:
+            material = repr(state).encode()
+        return hashlib.blake2b(material, digest_size=16).digest()
 
     def intern(
         self,
-        state: GlobalState,
+        state: object,
         *,
         parent: int = NO_PARENT,
         event: SystemEvent | None = None,
         perm: Permutation | None = None,
     ) -> tuple[int, bool]:
-        """Return ``(id, is_new)``; records the parent link only when new."""
+        """Return ``(id, is_new)``; records the parent link only when new.
+
+        *state* is any hashable key -- the packed codec encoding on the
+        search hot path, or a :class:`GlobalState` in object-keyed use.
+        """
         key = self._key(state)
         existing = self._ids.get(key)
         if existing is not None:
@@ -92,5 +107,5 @@ class StateStore:
     def __len__(self) -> int:
         return len(self._parent)
 
-    def __contains__(self, state: GlobalState) -> bool:
+    def __contains__(self, state: object) -> bool:
         return self._key(state) in self._ids

@@ -1,0 +1,139 @@
+"""Property tests for the encoded-state core (:mod:`repro.system.codec`).
+
+The engine de-duplicates, canonicalizes and ships *encodings* of global
+states, so two properties carry the whole correctness argument:
+
+* the codec is a **bijection** on reachable states --
+  ``decode(encode(s)) == s`` exactly (and through the packed ``bytes`` form),
+  which is what keeps ``verify()`` defaults bit-compatible with the seed
+  explorer;
+* encoded **canonicalization agrees with the object-level oracle** -- same
+  representative *and* same witness permutation as
+  ``canonicalize``/``canonicalize_bruteforce``, including the states whose
+  saved-requestor slots force the brute-force fallback.
+
+States are sampled with the deterministic random-walk generator used by the
+canonicalization property tests, across all six bundled protocols (the
+MSI-Unordered cells exercise the unordered-network section layout).
+"""
+
+import pytest
+
+from repro import protocols
+from repro.core import GenerationConfig, generate
+from repro.system import System, Workload
+from repro.verification import canonicalize, canonicalize_encoded
+from repro.verification.engine.canonical import invert
+
+from verification_helpers import sample_reachable_states
+
+ALL_PROTOCOLS = protocols.available_protocols()
+
+
+@pytest.fixture(scope="module")
+def sampled_by_protocol(all_generated):
+    """(system, states) per protocol: 3 caches, 2 accesses, nonstalling."""
+    result = {}
+    for name in ALL_PROTOCOLS:
+        system = System(
+            all_generated[(name, "nonstalling")],
+            num_caches=3,
+            workload=Workload(max_accesses_per_cache=2),
+        )
+        result[name] = (system, sample_reachable_states(system, seed=len(name)))
+    return result
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+class TestRoundTrip:
+    def test_decode_encode_is_identity(self, sampled_by_protocol, name):
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        for state in states:
+            enc = codec.encode(state)
+            assert codec.decode(enc) == state
+            assert all(isinstance(v, int) and v >= 0 for v in enc)
+
+    def test_packed_bytes_round_trip(self, sampled_by_protocol, name):
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        for state in states:
+            enc = codec.encode(state)
+            packed = codec.pack(enc)
+            assert isinstance(packed, bytes)
+            assert codec.unpack(packed) == enc
+            assert codec.decode_packed(codec.encode_packed(state)) == state
+
+    def test_encoding_is_injective_on_the_sample(self, sampled_by_protocol, name):
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        distinct = set(states)
+        assert len({codec.encode(s) for s in distinct}) == len(distinct)
+
+    def test_relabel_commutes_with_object_relabeling(self, sampled_by_protocol, name):
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        perms = system.symmetry_permutations()
+        for state in states[:120]:
+            enc = codec.encode(state)
+            for perm in perms:
+                assert codec.relabel(enc, perm) == codec.encode(state.relabeled(perm))
+                assert codec.relabel(codec.relabel(enc, perm), invert(perm)) == enc
+
+    def test_event_codec_round_trips(self, sampled_by_protocol, name):
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        seen = 0
+        for state in states[:80]:
+            for event in system.enabled_events(state):
+                assert codec.decode_event(codec.encode_event(event)) == event
+                seen += 1
+        assert seen > 0
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+class TestEncodedCanonicalAgreement:
+    def test_same_representative_and_witness(self, sampled_by_protocol, name):
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        perms = system.symmetry_permutations()
+        for state in states:
+            rep_obj, perm_obj = canonicalize(state, perms)
+            rep_enc, perm_enc = canonicalize_encoded(codec.encode(state), codec, perms)
+            assert perm_enc == perm_obj
+            assert rep_enc == codec.encode(rep_obj)
+
+    def test_saved_requestor_states_are_exercised_and_agree(
+        self, sampled_by_protocol, name
+    ):
+        """The brute-force fallback path must be hit by the sample (except
+        for protocols that never defer) and agree with the object oracle."""
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        perms = system.symmetry_permutations()
+        with_saved = [
+            s
+            for s in states
+            if any(any(v is not None and v >= 0 for v in c.saved) for c in s.caches)
+        ]
+        if name != "TSO-CC":
+            # Every deferring protocol reaches saved-requestor states on this
+            # workload; TSO-CC rarely does, so it only checks when sampled.
+            assert with_saved, "sample never reached a saved-requestor state"
+        for state in with_saved:
+            enc = codec.encode(state)
+            assert codec.has_saved_ids(enc)
+            rep_obj, perm_obj = canonicalize(state, perms)
+            rep_enc, perm_enc = canonicalize_encoded(enc, codec, perms)
+            assert perm_enc == perm_obj
+            assert rep_enc == codec.encode(rep_obj)
+
+    def test_idempotent_on_encodings(self, sampled_by_protocol, name):
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        perms = system.symmetry_permutations()
+        for state in states[:100]:
+            rep_enc, _ = canonicalize_encoded(codec.encode(state), codec, perms)
+            again, perm = canonicalize_encoded(rep_enc, codec, perms)
+            assert again == rep_enc
+            assert perm == perms[0]

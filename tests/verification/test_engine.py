@@ -150,6 +150,19 @@ class TestStrategies:
         result = verify(system, strategy="parallel", processes=2, max_states=50)
         assert result.truncated and result.ok
 
+    def test_max_states_budget_aborts_cleanly(self, msi_nonstalling):
+        """A budgeted run stops at exactly the budget with a partial report."""
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, max_states=100)
+        assert result.ok and result.truncated and result.partial
+        assert result.states_explored == 100
+        assert "partial" in result.summary
+        # A budget the search never reaches leaves the result complete.
+        full = verify(system, max_states=10_000)
+        assert full.ok and not full.partial
+        assert full.states_explored == 1638
+
 
 class TestStateStore:
     def test_intern_dedups_and_links(self, msi_nonstalling):

@@ -135,15 +135,15 @@ class TestFourCacheTier:
     WORKLOAD = Workload(max_accesses_per_cache=1,
                         access_kinds=(AccessKind.LOAD, AccessKind.STORE))
 
-    #: Bundled-spec verdicts at 4 caches x 1 access.  MOSI/nonstalling has a
-    #: latent hole of the same class E9 exposed for MSI-Unordered (a cache
-    #: that completed to I after serving an O_Fwd_GetM receives the
-    #: directory's stale Data response); the search documents it until the
-    #: SSP is extended -- see ROADMAP.
+    #: Bundled-spec verdicts at 4 caches x 1 access.  All clean: the MOSI
+    #: nonstalling hole this tier used to pin (the directory answering its
+    #: own recalled Data to the wrong cache after Fwd_GetS + O_Fwd_GetM
+    #: redirects) is fixed -- deferred directory-destined responses now carry
+    #: the redirect requestor through a saved slot (``Send.requestor_from_slot``).
     EXPECTED_OK = {
         "MSI": True,
         "MESI": True,
-        "MOSI": False,
+        "MOSI": True,
         "MSI-Upgrade": True,
         "MSI-Unordered": True,
         "TSO-CC": True,
