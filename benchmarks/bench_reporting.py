@@ -65,6 +65,7 @@ def record_run(
         "accesses_per_cache": accesses,
         "symmetry": symmetry,
         "strategy": result.strategy,
+        "kernel": getattr(result, "kernel", None),
         "processes": processes,
         "ok": result.ok,
         "partial": result.truncated,

@@ -45,6 +45,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-states", type=int, default=2_000_000,
                         help="state budget; the search aborts cleanly and "
                              "reports a partial result once reached")
+    parser.add_argument("--kernel", default="compiled",
+                        choices=["compiled", "object"],
+                        help="transition backend: the compiled encoded-state "
+                             "kernel (default) or the object executor")
+    parser.add_argument("--compare-kernels", action="store_true",
+                        help="run the same search once per kernel, record "
+                             "both, and fail unless the compiled kernel's "
+                             "throughput is at least the object kernel's")
     parser.add_argument("--bench-id", default="perf-smoke")
     args = parser.parse_args(argv)
 
@@ -56,25 +64,57 @@ def main(argv: list[str] | None = None) -> int:
     generated = generate(protocols.load(args.protocol), config)
     system = System(generated, num_caches=args.caches,
                     workload=Workload(max_accesses_per_cache=args.accesses))
-    result = verify(
-        system,
-        symmetry=args.symmetry,
-        strategy=args.strategy,
-        processes=args.processes,
-        max_states=args.max_states,
-    )
-    entry = record_run(
-        args.bench_id, result,
-        protocol=args.protocol, config=args.config,
-        num_caches=args.caches, accesses=args.accesses,
-        symmetry=args.symmetry, processes=args.processes,
-    )
-    print(f"{args.protocol}/{args.config} {args.caches}c x {args.accesses}a "
-          f"(symmetry={args.symmetry}, strategy={result.strategy}): "
-          f"{result.summary}")
-    print(f"recorded {entry['states_per_second']} states/s "
-          f"-> {results_path()}")
-    return 0 if result.ok else 1
+
+    def run(kernel: str):
+        result = verify(
+            system,
+            symmetry=args.symmetry,
+            strategy=args.strategy,
+            processes=args.processes,
+            max_states=args.max_states,
+            kernel=kernel,
+        )
+        suffix = f"-{kernel}" if args.compare_kernels else ""
+        entry = record_run(
+            args.bench_id + suffix, result,
+            protocol=args.protocol, config=args.config,
+            num_caches=args.caches, accesses=args.accesses,
+            symmetry=args.symmetry, processes=args.processes,
+        )
+        print(f"{args.protocol}/{args.config} {args.caches}c x {args.accesses}a "
+              f"(symmetry={args.symmetry}, strategy={result.strategy}, "
+              f"kernel={result.kernel}): {result.summary}")
+        print(f"recorded {entry['states_per_second']} states/s "
+              f"-> {results_path()}")
+        return result, entry
+
+    if not args.compare_kernels:
+        result, _ = run(args.kernel)
+        return 0 if result.ok else 1
+
+    object_result, object_entry = run("object")
+    compiled_result, compiled_entry = run("compiled")
+    if not (object_result.ok and compiled_result.ok):
+        return 1
+    if compiled_result.kernel != "compiled":
+        # The silent object fallback would turn the throughput gate below
+        # into a comparison of two identical backends.
+        print("FAIL: the compiled kernel fell back to the object backend "
+              "on this configuration; the comparison is meaningless")
+        return 1
+    if compiled_result.states_explored != object_result.states_explored:
+        print("FAIL: kernels disagree on the explored state count "
+              f"({compiled_result.states_explored} vs "
+              f"{object_result.states_explored})")
+        return 1
+    speedup = (compiled_entry["states_per_second"]
+               / max(1, object_entry["states_per_second"]))
+    print(f"compiled/object throughput: {speedup:.2f}x")
+    if compiled_entry["states_per_second"] < object_entry["states_per_second"]:
+        print("FAIL: the compiled kernel must not be slower than the "
+              "object executor")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -47,12 +47,14 @@ def test_engine_throughput_serial_vs_parallel(benchmark, generated):
         return verify(system, symmetry=True)
 
     serial_result = benchmark.pedantic(serial, rounds=1, iterations=1)
+    object_result = verify(system, symmetry=True, kernel="object")
     parallel_result = verify(
         system, symmetry=True, strategy="parallel", processes=PROCESSES
     )
 
     for bench_id, result, procs in [
         ("e12-msi-3c2a-reduced-serial", serial_result, None),
+        ("e12-msi-3c2a-reduced-serial-object", object_result, None),
         ("e12-msi-3c2a-reduced-parallel", parallel_result, PROCESSES),
     ]:
         record_run(
@@ -63,15 +65,29 @@ def test_engine_throughput_serial_vs_parallel(benchmark, generated):
 
     cores = _schedulable_cores()
     speedup = serial_result.elapsed_seconds / parallel_result.elapsed_seconds
+    kernel_speedup = object_result.elapsed_seconds / serial_result.elapsed_seconds
     banner("E12 -- engine throughput, stalling MSI 3c x 2a (symmetry-reduced)")
-    print(f"  serial   : {serial_result.summary}")
-    print(f"  parallel : {parallel_result.summary} ({PROCESSES} workers)")
-    print(f"  parallel/serial speedup: {speedup:.2f}x "
+    print(f"  serial (compiled kernel) : {serial_result.summary}")
+    print(f"  serial (object kernel)   : {object_result.summary}")
+    print(f"  parallel (compiled)      : {parallel_result.summary} "
+          f"({PROCESSES} workers)")
+    print(f"  compiled/object speedup  : {kernel_speedup:.2f}x")
+    print(f"  parallel/serial speedup  : {speedup:.2f}x "
           f"(schedulable cores: {cores})")
 
-    assert serial_result.ok and parallel_result.ok
-    assert serial_result.states_explored == parallel_result.states_explored
-    assert serial_result.transitions_explored == parallel_result.transitions_explored
+    assert serial_result.ok and object_result.ok and parallel_result.ok
+    assert serial_result.kernel == "compiled" and object_result.kernel == "object"
+    assert (serial_result.states_explored == object_result.states_explored
+            == parallel_result.states_explored)
+    assert (serial_result.transitions_explored
+            == object_result.transitions_explored
+            == parallel_result.transitions_explored)
+    # The compiled kernel exists to beat the object executor on exactly this
+    # workload; equality-or-better is the floor, >=2x the observed norm.
+    assert serial_result.elapsed_seconds <= object_result.elapsed_seconds, (
+        f"compiled kernel {serial_result.elapsed_seconds:.2f}s slower than "
+        f"object executor {object_result.elapsed_seconds:.2f}s"
+    )
     if cores >= 2:
         # With at least two schedulable cores the persistent-worker pool must
         # beat the serial search on this ~27k-state workload -- the crossover

@@ -78,3 +78,41 @@ def test_stalling_msi_three_caches_full_workload(benchmark, generated):
     assert result.ok
     assert result.symmetry_reduced
     assert not result.truncated
+
+
+@pytest.mark.slow
+def test_stalling_msi_three_caches_full_unreduced_kernel_axis(generated):
+    """The full (unreduced) 158 007-state Murphi configuration, run once per
+    transition kernel: the compiled kernel's reference workload.  Both runs
+    are recorded to BENCH_results.json; the compiled kernel must reproduce
+    the object executor's exploration exactly and at least 2x faster (the
+    encoded hot path typically measures 3-4x here)."""
+    protocol = generated[("MSI", "stalling")]
+    system = System(protocol, num_caches=3,
+                    workload=Workload(max_accesses_per_cache=2))
+
+    compiled = verify(system)
+    objected = verify(system, kernel="object")
+    for bench_id, result in [
+        ("e7-msi-3c2a-full-compiled", compiled),
+        ("e7-msi-3c2a-full-object", objected),
+    ]:
+        record_run(
+            bench_id, result,
+            protocol="MSI", config="stalling",
+            num_caches=3, accesses=2, symmetry=False,
+        )
+
+    banner("E7 -- stalling MSI, 3 caches x 2 accesses (full, kernel axis)")
+    print(f"  compiled kernel : {compiled.summary}")
+    print(f"  object kernel   : {objected.summary}")
+    print(f"  speedup         : "
+          f"{objected.elapsed_seconds / compiled.elapsed_seconds:.2f}x")
+
+    assert compiled.ok and objected.ok
+    assert compiled.states_explored == objected.states_explored == 158_007
+    assert compiled.transitions_explored == objected.transitions_explored
+    assert compiled.elapsed_seconds * 2 <= objected.elapsed_seconds, (
+        f"compiled kernel {compiled.elapsed_seconds:.2f}s is not 2x faster "
+        f"than the object executor {objected.elapsed_seconds:.2f}s"
+    )

@@ -15,7 +15,28 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
 from repro.dsl.errors import GenerationError
-from repro.dsl.types import AccessKind, Action, ControllerKind, Permission
+from repro.dsl.types import (
+    AccessKind,
+    Action,
+    AddOwnerToSharers,
+    AddRequestorToSharers,
+    ClearOwner,
+    ClearSharers,
+    ControllerKind,
+    CopyDataFromMessage,
+    Dest,
+    IncrementAcksReceived,
+    InvalidateData,
+    Permission,
+    PerformAccess,
+    RemoveRequestorFromSharers,
+    ResetAckCounters,
+    SaveRequestor,
+    Send,
+    SetAcksExpectedFromMessage,
+    SetOwnerToRequestor,
+    WriteDataToMemory,
+)
 
 
 class StateKind(enum.Enum):
@@ -249,6 +270,20 @@ class GeneratedProtocol:
     def controller(self, kind: ControllerKind) -> ControllerFsm:
         return self.cache if kind is ControllerKind.CACHE else self.directory
 
+    def compiled(self) -> "CompiledSpec":
+        """The integer-indexed table form of this protocol.
+
+        Compiled fresh on every call -- test mutants edit controller tables
+        in place, so a cached spec could go stale; the consumers that care
+        (:class:`repro.system.kernel.TransitionKernel` via
+        :meth:`repro.system.System.kernel`) cache at the system level, where
+        the codec tables are snapshotted at the same time.  Raises
+        :class:`CompilationUnsupported` when the protocol uses an action or
+        guard the table form cannot express; callers treat that as
+        "interpret the object FSM instead".
+        """
+        return compile_spec(self)
+
     def summary(self) -> dict:
         return {
             "protocol": self.name,
@@ -261,3 +296,291 @@ class GeneratedProtocol:
             "total_states": self.cache.num_states + self.directory.num_states,
             "total_transitions": self.cache.num_transitions + self.directory.num_transitions,
         }
+
+
+# ---------------------------------------------------------------------------
+# Compiled (table-form) spec
+# ---------------------------------------------------------------------------
+#
+# The execution substrate interprets `ControllerFsm` objects: string-keyed
+# state lookups, dataclass events, isinstance chains over action objects.
+# That is the right representation for generation and for rendering, but the
+# model checker executes millions of transitions per search, where every
+# string hash and every `isinstance` shows up.  `compile_spec` lowers a
+# generated protocol into flat integer-indexed tables -- the same lowering
+# Murphi performs when it compiles a model to C -- which the encoded-state
+# kernel (`repro.system.kernel`) interprets directly over packed states.
+#
+# Index conventions (shared with `repro.system.codec.StateCodec`): FSM states
+# and message types are indexed through their *sorted* name lists, access
+# kinds through `AccessKind` sorted by value.  The object executor
+# (`repro.system.executor`) consumes the same guard vocabulary below, so the
+# two backends cannot drift on what a guard means.
+
+#: Guard codes (message-event trigger conditions).  The object executor and
+#: the compiled kernel both dispatch on these; an unknown guard string fails
+#: compilation here and raises at execution time there.
+GUARD_CODES: dict[str, int] = {
+    "ack_count_zero": 1,
+    "ack_count_nonzero": 2,
+    "acks_complete": 3,
+    "acks_incomplete": 4,
+    "from_owner": 5,
+    "not_from_owner": 6,
+    "last_sharer": 7,
+    "not_last_sharer": 8,
+    "from_sharer": 9,
+    "not_from_sharer": 10,
+}
+
+# Action opcodes (cache controller).
+OP_SEND = 1
+OP_COPY_DATA = 2
+OP_INVALIDATE_DATA = 3
+OP_SET_ACKS_FROM_MSG = 4
+OP_INC_ACKS = 5
+OP_RESET_ACKS = 6
+OP_SAVE_REQUESTOR = 7
+OP_PERFORM_ACCESS = 8
+# Action opcodes (directory controller).
+OP_DIR_SEND = 9
+OP_WRITE_MEMORY = 10
+OP_SET_OWNER_REQ = 11
+OP_CLEAR_OWNER = 12
+OP_ADD_REQ_SHARER = 13
+OP_ADD_OWNER_SHARER = 14
+OP_RM_REQ_SHARER = 15
+OP_CLEAR_SHARERS = 16
+
+# Send destination codes (cache sends).
+DEST_DIRECTORY = 0
+DEST_REQUESTOR = 1
+DEST_SELF = 2
+DEST_SAVED_SLOT = 3
+# Send destination codes (directory sends; REQUESTOR shared).
+DEST_OWNER = 2
+DEST_SHARERS = 3
+
+
+class CompilationUnsupported(GenerationError):
+    """The protocol uses a construct the table form cannot express."""
+
+
+@dataclass(frozen=True)
+class CompiledTransition:
+    """One lowered `FsmTransition`: guard code, opcode list, next-state index."""
+
+    guard: int          # 0 = unguarded, else a GUARD_CODES value
+    next_state: int     # index into the controller's sorted state-name list
+    ops: tuple[tuple, ...]
+    stall: bool
+    has_perform: bool   # any PerformAccess op (clears pending_access after)
+    source: FsmTransition  # the object-form transition this was lowered from
+
+
+@dataclass(frozen=True)
+class CompiledController:
+    """Integer-indexed dispatch tables for one controller FSM."""
+
+    state_names: tuple[str, ...]           # sorted; index = state id
+    initial_state: int
+    stable: tuple[bool, ...]               # per state id
+    permission: tuple[int, ...]            # per state id (Permission int value)
+    #: per state id: tuple over access-kind index of CompiledTransition | None
+    on_access: tuple[tuple, ...]
+    #: per state id: dict message-type index -> tuple of candidate
+    #: CompiledTransitions (same candidate order as `ControllerFsm.candidates`)
+    on_message: tuple[dict, ...]
+
+
+@dataclass(frozen=True)
+class CompiledSpec:
+    """Table form of a whole generated protocol."""
+
+    cache: CompiledController
+    directory: CompiledController
+    mtype_names: tuple[str, ...]           # sorted; index = message-type id
+    access_kinds: tuple[AccessKind, ...]   # sorted by value; index = access id
+    #: per message-type id: the virtual network its sends travel on
+    #: (0 for requests, 1 for forwards/responses -- the system model's tagging)
+    mtype_vnet: tuple[int, ...]
+
+
+def _compile_actions(
+    transition: FsmTransition,
+    *,
+    is_cache: bool,
+    mtype_index: dict[str, int],
+    mtype_vnet: tuple[int, ...],
+) -> tuple[tuple, ...]:
+    ops: list[tuple] = []
+    for action in transition.actions:
+        if isinstance(action, Send):
+            try:
+                mt = mtype_index[action.message]
+            except KeyError:
+                raise CompilationUnsupported(
+                    f"send of unknown message type {action.message!r}"
+                ) from None
+            vnet = mtype_vnet[mt]
+            if is_cache:
+                if action.requestor_slot is not None:
+                    dest, arg = DEST_SAVED_SLOT, action.requestor_slot
+                elif action.to is Dest.DIRECTORY:
+                    dest, arg = DEST_DIRECTORY, 0
+                elif action.to is Dest.REQUESTOR:
+                    dest, arg = DEST_REQUESTOR, 0
+                elif action.to is Dest.SELF:
+                    dest, arg = DEST_SELF, 0
+                else:
+                    raise CompilationUnsupported(
+                        f"cache send destination {action.to!r}"
+                    )
+                ops.append((OP_SEND, mt, vnet, dest, arg,
+                            action.requestor_from_slot, action.with_data))
+            else:
+                if action.to is Dest.REQUESTOR:
+                    dest = DEST_REQUESTOR
+                elif action.to is Dest.OWNER:
+                    dest = DEST_OWNER
+                elif action.to is Dest.SHARERS:
+                    dest = DEST_SHARERS
+                else:
+                    raise CompilationUnsupported(
+                        f"directory send destination {action.to!r}"
+                    )
+                ops.append((OP_DIR_SEND, mt, vnet, dest,
+                            action.with_data, action.with_ack_count))
+        elif isinstance(action, CopyDataFromMessage):
+            ops.append((OP_COPY_DATA,) if is_cache else (OP_WRITE_MEMORY,))
+        elif isinstance(action, WriteDataToMemory):
+            if is_cache:
+                raise CompilationUnsupported("WriteDataToMemory on a cache")
+            ops.append((OP_WRITE_MEMORY,))
+        elif isinstance(action, InvalidateData):
+            ops.append((OP_INVALIDATE_DATA,))
+        elif isinstance(action, SetAcksExpectedFromMessage):
+            ops.append((OP_SET_ACKS_FROM_MSG,))
+        elif isinstance(action, IncrementAcksReceived):
+            ops.append((OP_INC_ACKS,))
+        elif isinstance(action, ResetAckCounters):
+            ops.append((OP_RESET_ACKS,))
+        elif isinstance(action, SaveRequestor):
+            ops.append((OP_SAVE_REQUESTOR, action.slot))
+        elif isinstance(action, PerformAccess):
+            ops.append((OP_PERFORM_ACCESS,))
+        elif isinstance(action, SetOwnerToRequestor):
+            ops.append((OP_SET_OWNER_REQ,))
+        elif isinstance(action, ClearOwner):
+            ops.append((OP_CLEAR_OWNER,))
+        elif isinstance(action, AddRequestorToSharers):
+            ops.append((OP_ADD_REQ_SHARER,))
+        elif isinstance(action, AddOwnerToSharers):
+            ops.append((OP_ADD_OWNER_SHARER,))
+        elif isinstance(action, RemoveRequestorFromSharers):
+            ops.append((OP_RM_REQ_SHARER,))
+        elif isinstance(action, ClearSharers):
+            ops.append((OP_CLEAR_SHARERS,))
+        else:
+            raise CompilationUnsupported(f"action {action!r}")
+    return tuple(ops)
+
+
+def _compile_controller(
+    fsm: ControllerFsm,
+    *,
+    is_cache: bool,
+    mtype_index: dict[str, int],
+    mtype_vnet: tuple[int, ...],
+    access_kinds: tuple[AccessKind, ...],
+) -> CompiledController:
+    state_names = tuple(sorted(fsm.state_names()))
+    state_index = {name: i for i, name in enumerate(state_names)}
+
+    def lower(transition: FsmTransition) -> CompiledTransition:
+        guard = 0
+        event = transition.event
+        if isinstance(event, MessageEvent) and event.guard is not None:
+            try:
+                guard = GUARD_CODES[event.guard]
+            except KeyError:
+                raise CompilationUnsupported(
+                    f"guard {event.guard!r}"
+                ) from None
+        if transition.stall:
+            # Stalled cells never execute; next_state may be a placeholder.
+            next_state = state_index.get(transition.next_state, 0)
+            return CompiledTransition(guard, next_state, (), True, False, transition)
+        return CompiledTransition(
+            guard,
+            state_index[transition.next_state],
+            _compile_actions(transition, is_cache=is_cache,
+                             mtype_index=mtype_index, mtype_vnet=mtype_vnet),
+            False,
+            any(isinstance(a, PerformAccess) for a in transition.actions),
+            transition,
+        )
+
+    on_access: list[tuple] = []
+    on_message: list[dict] = []
+    for name in state_names:
+        access_row: list[CompiledTransition | None] = [None] * len(access_kinds)
+        message_row: dict[int, list[CompiledTransition]] = {}
+        for transition in fsm.transitions_from(name):
+            event = transition.event
+            if isinstance(event, AccessEvent):
+                access_row[access_kinds.index(event.access)] = lower(transition)
+            elif isinstance(event, MessageEvent):
+                try:
+                    mt = mtype_index[event.message]
+                except KeyError:
+                    raise CompilationUnsupported(
+                        f"handler for unknown message type {event.message!r}"
+                    ) from None
+                message_row.setdefault(mt, []).append(lower(transition))
+            else:
+                raise CompilationUnsupported(f"event {event!r}")
+        on_access.append(tuple(access_row))
+        on_message.append({mt: tuple(cands) for mt, cands in message_row.items()})
+
+    return CompiledController(
+        state_names=state_names,
+        initial_state=state_index[fsm.initial_state],
+        stable=tuple(fsm.state(n).is_stable for n in state_names),
+        permission=tuple(int(fsm.state(n).permission) for n in state_names),
+        on_access=tuple(on_access),
+        on_message=tuple(on_message),
+    )
+
+
+def compile_spec(protocol: GeneratedProtocol) -> CompiledSpec:
+    """Lower *protocol* into integer-indexed dispatch tables.
+
+    The index conventions (sorted state / message-type names, value-sorted
+    access kinds) are exactly those of
+    :class:`repro.system.codec.StateCodec`, so a table lookup on an encoded
+    field needs no translation.  Raises :class:`CompilationUnsupported` for
+    constructs the tables cannot express (the caller then interprets the
+    object FSM instead).
+    """
+    mtype_names = tuple(sorted(protocol.messages.names()))
+    mtype_index = {name: i for i, name in enumerate(mtype_names)}
+    try:
+        request_names = {m.name for m in protocol.messages.requests}
+    except AttributeError:  # pragma: no cover - untyped message catalogs
+        request_names = set()
+    mtype_vnet = tuple(0 if name in request_names else 1 for name in mtype_names)
+    access_kinds = tuple(sorted(AccessKind, key=lambda a: a.value))
+    return CompiledSpec(
+        cache=_compile_controller(
+            protocol.cache, is_cache=True, mtype_index=mtype_index,
+            mtype_vnet=mtype_vnet, access_kinds=access_kinds,
+        ),
+        directory=_compile_controller(
+            protocol.directory, is_cache=False, mtype_index=mtype_index,
+            mtype_vnet=mtype_vnet, access_kinds=access_kinds,
+        ),
+        mtype_names=mtype_names,
+        access_kinds=access_kinds,
+        mtype_vnet=mtype_vnet,
+    )

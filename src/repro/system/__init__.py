@@ -1,6 +1,7 @@
 """Execution substrate: caches, directory, interconnect, whole-system model."""
 
 from repro.system.codec import StateCodec
+from repro.system.kernel import TransitionKernel
 from repro.system.message import DIRECTORY_ID, Message
 from repro.system.network import Network, OrderedNetwork, UnorderedNetwork, make_network
 from repro.system.node_state import CacheNodeState, DirectoryNodeState
@@ -31,6 +32,7 @@ __all__ = [
     "StepOutcome",
     "System",
     "SystemEvent",
+    "TransitionKernel",
     "UnorderedNetwork",
     "Workload",
     "make_network",

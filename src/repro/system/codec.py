@@ -26,7 +26,9 @@ The encoding is designed around three invariants the engine relies on:
    endpoints are remapped in place, and order-normalized sections (sharers,
    channels, unordered messages) are re-sorted.
 
-Layout (all values fit ``array('H')``, i.e. ``< 2**16``)::
+Layout (lanes are ``array('H')`` by default; a protocol whose name catalogs
+or workload-bounded values exceed the 16-bit range automatically widens to
+32-bit lanes -- see ``typecode``)::
 
     [cache 0 block | ... | cache n-1 block | directory block |
      latest_version | network section]
@@ -70,7 +72,8 @@ _MEMO_LIMIT = 1 << 20
 class StateCodec:
     """Bidirectional ``GlobalState`` <-> flat-int-tuple <-> ``bytes`` codec."""
 
-    def __init__(self, protocol, num_caches: int, *, ordered: bool):
+    def __init__(self, protocol, num_caches: int, *, ordered: bool,
+                 value_bound: int = 0):
         self.num_caches = num_caches
         self.ordered = ordered
         self.cache_states: tuple[str, ...] = tuple(sorted(protocol.cache.state_names()))
@@ -83,8 +86,22 @@ class StateCodec:
         self._dir_index = {name: i for i, name in enumerate(self.dir_states)}
         self._mtype_index = {name: i for i, name in enumerate(self.mtypes)}
         self._access_index = {kind: i for i, kind in enumerate(self.access_kinds)}
-        if max(len(self.cache_states), len(self.dir_states), len(self.mtypes)) >= 0xFFFF:
-            raise ValueError("protocol too large for the 16-bit state encoding")
+        # Lane selection: uint16 lanes cover every bundled protocol; a
+        # protocol whose catalogs (or whose workload-bounded data versions,
+        # via *value_bound*) no longer fit below 0xFFFF widens every lane to
+        # 32 bits instead of erroring out.  All orderings and offsets are
+        # lane-width independent; only `pack`/`unpack` change.
+        largest = max(
+            len(self.cache_states), len(self.dir_states), len(self.mtypes),
+            num_caches + 2, value_bound + 2,
+        )
+        if largest < 0xFFFF:
+            self.typecode = "H"
+        else:
+            self.typecode = "I" if array("I").itemsize == 4 else "L"
+            if largest >= 0xFFFF_FFFF:  # pragma: no cover - absurd inputs
+                raise ValueError("protocol too large for the 32-bit state encoding")
+        self.lane_bytes = array(self.typecode).itemsize
 
         self.cache_width = CACHE_ENCODED_WIDTH
         self.dir_offset = num_caches * CACHE_ENCODED_WIDTH
@@ -104,7 +121,15 @@ class StateCodec:
 
     @classmethod
     def for_system(cls, system) -> "StateCodec":
-        return cls(system.protocol, system.num_caches, ordered=system.ordered)
+        # The workload bounds the ghost data versions (one per store), which
+        # bounds every data-carrying field for the lane-width selection.
+        workload = system.workload
+        return cls(
+            system.protocol,
+            system.num_caches,
+            ordered=system.ordered,
+            value_bound=system.num_caches * workload.max_accesses_per_cache + 1,
+        )
 
     # -- encoding ----------------------------------------------------------------
     def encode(self, state: GlobalState) -> tuple:
@@ -167,15 +192,13 @@ class StateCodec:
         )
 
     # -- bytes packing -----------------------------------------------------------
-    @staticmethod
-    def pack(enc: tuple) -> bytes:
+    def pack(self, enc: tuple) -> bytes:
         """Pack an encoding into ``bytes`` (the visited-set / IPC form)."""
-        return array("H", enc).tobytes()
+        return array(self.typecode, enc).tobytes()
 
-    @staticmethod
-    def unpack(packed: bytes) -> tuple:
+    def unpack(self, packed: bytes) -> tuple:
         """Inverse of :meth:`pack`."""
-        values = array("H")
+        values = array(self.typecode)
         values.frombytes(packed)
         return tuple(values)
 

@@ -5,6 +5,16 @@ current architectural state and a stimulus (a core access or an incoming
 message), it selects the matching transition, executes its actions and
 returns the new node state plus the messages to inject into the network.
 
+Two backends interpret the same generated spec: this object executor, and
+the compiled kernel (:mod:`repro.system.kernel`) that runs the lowered table
+form (:func:`repro.core.fsm.compile_spec`) directly over encoded states.
+They share the guard vocabulary (:data:`repro.core.fsm.GUARD_CODES`,
+evaluated here by :func:`evaluate_guard`) and the transition-selection
+policy; the object executor is the differential oracle -- the kernel
+delegates every error path to it, and the property tests in
+``tests/verification/test_kernel.py`` pin the two backends to bit-identical
+successors, events and verdicts.
+
 Guard semantics
 ---------------
 
@@ -25,7 +35,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core.fsm import ControllerFsm, Event, FsmTransition, MessageEvent
+from repro.core.fsm import (
+    GUARD_CODES,
+    ControllerFsm,
+    Event,
+    FsmTransition,
+    MessageEvent,
+)
 from repro.dsl.errors import VerificationError
 from repro.dsl.types import (
     AccessKind,
@@ -126,30 +142,46 @@ def _guard_satisfied(
 ) -> bool:
     if not isinstance(event, MessageEvent) or event.guard is None:
         return True
-    guard = event.guard
-    if guard in ("ack_count_zero", "ack_count_nonzero"):
+    code = GUARD_CODES.get(event.guard)
+    if code is None:
+        raise ProtocolRuntimeError(f"unknown guard {event.guard!r}")
+    return evaluate_guard(code, message=message, cache=cache, directory=directory)
+
+
+def evaluate_guard(
+    code: int,
+    *,
+    message: Message | None,
+    cache: CacheNodeState | None,
+    directory: DirectoryNodeState | None,
+) -> bool:
+    """Evaluate one guard code over object-form node state.
+
+    This is the object half of the shared guard vocabulary
+    (:data:`repro.core.fsm.GUARD_CODES`); the compiled kernel
+    (:mod:`repro.system.kernel`) evaluates the same codes over encoded
+    fields, and the differential tests pin the two in agreement.
+    """
+    if code <= 2:  # ack_count_zero / ack_count_nonzero
         assert message is not None and cache is not None
         outstanding = (message.ack_count or 0) - cache.acks_received
-        return outstanding <= 0 if guard == "ack_count_zero" else outstanding > 0
-    if guard in ("acks_complete", "acks_incomplete"):
+        return outstanding <= 0 if code == 1 else outstanding > 0
+    if code <= 4:  # acks_complete / acks_incomplete
         assert cache is not None
         if cache.acks_expected is None:
-            return guard == "acks_incomplete"
+            return code == 4
         complete = cache.acks_received + 1 >= cache.acks_expected
-        return complete if guard == "acks_complete" else not complete
-    if guard in ("from_owner", "not_from_owner"):
-        assert message is not None and directory is not None
+        return complete if code == 3 else not complete
+    assert message is not None and directory is not None
+    if code <= 6:  # from_owner / not_from_owner
         is_owner = directory.owner is not None and message.src == directory.owner
-        return is_owner if guard == "from_owner" else not is_owner
-    if guard in ("last_sharer", "not_last_sharer"):
-        assert message is not None and directory is not None
+        return is_owner if code == 5 else not is_owner
+    if code <= 8:  # last_sharer / not_last_sharer
         last = message.src in directory.sharers and len(directory.sharers) == 1
-        return last if guard == "last_sharer" else not last
-    if guard in ("from_sharer", "not_from_sharer"):
-        assert message is not None and directory is not None
-        is_sharer = message.src in directory.sharers
-        return is_sharer if guard == "from_sharer" else not is_sharer
-    raise ProtocolRuntimeError(f"unknown guard {guard!r}")
+        return last if code == 7 else not last
+    # from_sharer / not_from_sharer
+    is_sharer = message.src in directory.sharers
+    return is_sharer if code == 9 else not is_sharer
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,494 @@
+"""Compiled transition kernel: the search hot path over encoded states.
+
+The object execution substrate (:mod:`repro.system.system` /
+:mod:`repro.system.executor`) interprets the generated FSMs over dataclass
+trees -- the right representation for clarity and for counterexample
+replay, but every explored transition pays for event objects, dataclass
+construction and a full re-encode.  Murphi gets its throughput by compiling
+the transition relation down to operations on packed bit-vector states; the
+:class:`TransitionKernel` is that representation shift for this engine:
+
+* the generated protocol is lowered once into integer-indexed dispatch
+  tables (:func:`repro.core.fsm.compile_spec`);
+* enabled-event enumeration, guard evaluation, successor construction,
+  quiescence and the default invariants (SWMR, single-owner) then run
+  directly on the flat int-tuple encoding of
+  :class:`~repro.system.codec.StateCodec` -- no :class:`GlobalState`,
+  :class:`Message` or event object is ever materialized on the hot path.
+
+The kernel is **exact by construction where it is fast, and delegating
+where it is not**: every successor it produces is bit-identical to
+``codec.encode(system.apply(state, event).state)`` (property-tested across
+all bundled protocols in ``tests/verification/test_kernel.py``), and any
+path that would produce an error outcome -- unexpected message, ambiguous
+guards, missing data/requestor, a data-value violation -- returns ``None``
+instead, telling the caller to decode the state and replay the single event
+through the object executor, which is kept as the differential oracle and
+produces the exact seed-identical error text.
+
+Layout knowledge (field offsets, +1/+2 shifts) mirrors
+:mod:`repro.system.codec`; both import their widths from
+:mod:`repro.system.node_state` and :mod:`repro.system.message`.
+"""
+
+from __future__ import annotations
+
+from repro.core.fsm import (
+    DEST_DIRECTORY,
+    DEST_OWNER,
+    DEST_REQUESTOR,
+    DEST_SAVED_SLOT,
+    DEST_SELF,
+    DEST_SHARERS,
+    OP_ADD_OWNER_SHARER,
+    OP_ADD_REQ_SHARER,
+    OP_CLEAR_OWNER,
+    OP_CLEAR_SHARERS,
+    OP_COPY_DATA,
+    OP_DIR_SEND,
+    OP_INC_ACKS,
+    OP_INVALIDATE_DATA,
+    OP_PERFORM_ACCESS,
+    OP_RM_REQ_SHARER,
+    OP_RESET_ACKS,
+    OP_SAVE_REQUESTOR,
+    OP_SEND,
+    OP_SET_ACKS_FROM_MSG,
+    OP_SET_OWNER_REQ,
+    OP_WRITE_MEMORY,
+    CompilationUnsupported,
+)
+from repro.dsl.types import AccessKind
+from repro.system.node_state import CACHE_ENCODED_WIDTH, NUM_SAVED_SLOTS
+
+#: Offsets inside one encoded cache block (see ``CacheNodeState.encoded``).
+CF_STATE = 0
+CF_ISSUED = 1
+CF_DATA = 2
+CF_ACKS_EXPECTED = 3
+CF_ACKS_RECEIVED = 4
+CF_SAVED = 5
+CF_PENDING = 5 + NUM_SAVED_SLOTS
+CF_LAST_OBSERVED = 6 + NUM_SAVED_SLOTS
+
+#: Sentinel plan: more than one transition matched (the object executor
+#: raises the "ambiguous transitions" protocol error for these).
+AMBIGUOUS = object()
+
+#: Compiled invariant codes accepted by :meth:`TransitionKernel.check`.
+INV_SWMR = "swmr"
+INV_SINGLE_OWNER = "single_owner"
+
+
+class TransitionKernel:
+    """Successor generation and invariant checking on encoded states."""
+
+    def __init__(self, system):
+        self.system = system
+        self.codec = codec = system.codec()
+        spec = system.protocol.compiled()  # may raise CompilationUnsupported
+        if (
+            spec.cache.state_names != codec.cache_states
+            or spec.directory.state_names != codec.dir_states
+            or spec.mtype_names != codec.mtypes
+            or spec.access_kinds != codec.access_kinds
+        ):
+            raise CompilationUnsupported("spec/codec index tables disagree")
+        if spec.mtype_vnet != tuple(
+            0 if name in system._request_names else 1 for name in spec.mtype_names
+        ):
+            # The spec derives vnets from the message catalog on its own;
+            # they must match the tagging System._tag applies to sends.
+            raise CompilationUnsupported("spec/system vnet tagging disagrees")
+        for row in spec.cache.on_message:
+            for cands in row.values():
+                if any(ct.guard > 4 for ct in cands):
+                    raise CompilationUnsupported("directory guard on a cache")
+        for row in spec.directory.on_message:
+            for cands in row.values():
+                if any(0 < ct.guard <= 4 for ct in cands):
+                    raise CompilationUnsupported("cache guard on the directory")
+        self.spec = spec
+        self.num_caches = system.num_caches
+        self.ordered = system.ordered
+        self.dir_offset = codec.dir_offset
+        self.version_offset = codec.version_offset
+        self.net_offset = codec.net_offset
+        self.max_accesses = system.workload.max_accesses_per_cache
+        #: Access-kind indices in *workload enumeration order* (the object
+        #: model iterates ``workload.access_kinds``, not the sorted catalog).
+        self.access_order = tuple(
+            codec.access_kinds.index(kind) for kind in system.workload.access_kinds
+        )
+        self.ai_load = codec.access_kinds.index(AccessKind.LOAD)
+        self.ai_store = codec.access_kinds.index(AccessKind.STORE)
+
+    # -- event enumeration -------------------------------------------------------
+    def enabled(self, enc: tuple) -> tuple[list, list]:
+        """``(plans, net)`` for *enc*: one plan per enabled event, in exactly
+        the order :meth:`repro.system.System.enabled_events` yields them.
+
+        A plan is ``("a", eev, cache_id, ct)`` for an access or
+        ``("d", eev, record, ct, where)`` for a delivery, where ``eev`` is the
+        codec event encoding, ``ct`` the selected compiled transition
+        (``None`` when no transition matches -- applying will error -- or
+        :data:`AMBIGUOUS`), and ``where`` locates the delivered message in
+        *net* (channel index when ordered, record index when unordered).
+        *net* is ``codec.network_items(enc)``, parsed once per state.
+        """
+        plans: list = []
+        spec_cache = self.spec.cache
+        stable = spec_cache.stable
+        on_access = spec_cache.on_access
+        width = CACHE_ENCODED_WIDTH
+        max_accesses = self.max_accesses
+        for cid in range(self.num_caches):
+            base = cid * width
+            if enc[base + CF_ISSUED] >= max_accesses:
+                continue
+            si = enc[base]
+            if not stable[si]:
+                continue
+            row = on_access[si]
+            for ai in self.access_order:
+                ct = row[ai]
+                if ct is None or ct.stall:
+                    continue
+                plans.append(("a", (0, cid, ai), cid, ct))
+        net = self.codec.network_items(enc)
+        if self.ordered:
+            for idx, channel in enumerate(net):
+                self._plan_delivery(plans, enc, channel[3][0], idx)
+        else:
+            previous = None
+            for idx, rec in enumerate(net):
+                if rec == previous:
+                    # Identical in-flight messages lead to the same successor;
+                    # the object model de-duplicates them the same way.
+                    continue
+                previous = rec
+                self._plan_delivery(plans, enc, rec, idx)
+        return plans, net
+
+    def _plan_delivery(self, plans: list, enc: tuple, rec: tuple, where: int) -> None:
+        if rec[2] == 1:  # destination is the directory (id -1, +2 shift)
+            cands = self.spec.directory.on_message[enc[self.dir_offset]].get(rec[0])
+            ct = self._select(cands, rec, enc, None) if cands else None
+        else:
+            base = (rec[2] - 2) * CACHE_ENCODED_WIDTH
+            cands = self.spec.cache.on_message[enc[base]].get(rec[0])
+            ct = self._select(cands, rec, enc, base) if cands else None
+        if ct is not None and ct is not AMBIGUOUS and ct.stall:
+            return  # stalled deliveries are not enabled
+        plans.append(("d", (1,) + tuple(rec), rec, ct, where))
+
+    def _select(self, cands: tuple, rec: tuple, enc: tuple, base: int | None):
+        """Mirror of :func:`repro.system.executor.select_transition` over
+        encoded fields: evaluate guards, prefer a unique guarded match."""
+        if len(cands) == 1 and cands[0].guard == 0:
+            return cands[0]
+        matching = []
+        guarded = []
+        for ct in cands:
+            g = ct.guard
+            if g and not self._guard(g, rec, enc, base):
+                continue
+            matching.append(ct)
+            if g:
+                guarded.append(ct)
+        if len(guarded) == 1:
+            return guarded[0]
+        if len(matching) == 1:
+            return matching[0]
+        if not matching:
+            return None
+        return AMBIGUOUS
+
+    def _guard(self, g: int, rec: tuple, enc: tuple, base: int | None) -> bool:
+        """Encoded mirror of :func:`repro.system.executor.evaluate_guard`."""
+        if g <= 2:  # ack_count_zero / ack_count_nonzero
+            outstanding = (rec[9] - 2 if rec[8] else 0) - enc[base + CF_ACKS_RECEIVED]
+            return outstanding <= 0 if g == 1 else outstanding > 0
+        if g <= 4:  # acks_complete / acks_incomplete
+            expected = enc[base + CF_ACKS_EXPECTED]
+            complete = expected != 0 and enc[base + CF_ACKS_RECEIVED] + 1 >= expected - 1
+            return complete if g == 3 else not complete
+        d0 = self.dir_offset
+        if g <= 6:  # from_owner / not_from_owner
+            owner = enc[d0 + 1]
+            is_owner = owner != 0 and rec[1] == owner
+            return is_owner if g == 5 else not is_owner
+        run = enc[d0 + 2 : d0 + 2 + self.num_caches]
+        if g <= 8:  # last_sharer / not_last_sharer
+            last = run[0] == rec[1] and (self.num_caches == 1 or run[1] == 0)
+            return last if g == 7 else not last
+        # from_sharer / not_from_sharer (padding zeros can never equal src+2)
+        is_sharer = rec[1] in run
+        return is_sharer if g == 9 else not is_sharer
+
+    # -- successor construction ---------------------------------------------------
+    def apply(self, enc: tuple, plan: tuple, net: list) -> tuple | None:
+        """The successor encoding for *plan*, or ``None`` for "take the slow
+        path": decode and replay the one event through ``System.apply`` (it
+        reproduces the exact error outcome, or in rare benign cases the
+        successor, at object speed)."""
+        if plan[0] == "a":
+            return self._apply_access(enc, plan[2], plan[1][2], plan[3], net)
+        ct = plan[3]
+        if ct is None or ct is AMBIGUOUS:
+            return None  # unexpected message / ambiguous guards -> object error
+        rec = plan[2]
+        if rec[2] == 1:
+            return self._apply_directory(enc, rec, ct, net, plan[4])
+        return self._apply_cache_delivery(enc, rec, ct, net, plan[4])
+
+    def _apply_access(self, enc, cid, ai, ct, net):
+        out = list(enc[: self.net_offset])
+        base = cid * CACHE_ENCODED_WIDTH
+        out[base + CF_ISSUED] += 1
+        out[base + CF_PENDING] = ai + 1
+        sends: list = []
+        if not self._run_cache_ops(out, base, cid, None, ai, ct, sends):
+            return None
+        out[base + CF_STATE] = ct.next_state
+        if ct.has_perform:
+            out[base + CF_PENDING] = 0
+        self._emit_net(out, net, None, sends)
+        return tuple(out)
+
+    def _apply_cache_delivery(self, enc, rec, ct, net, where):
+        cid = rec[2] - 2
+        out = list(enc[: self.net_offset])
+        base = cid * CACHE_ENCODED_WIDTH
+        pending = out[base + CF_PENDING]
+        ai = pending - 1 if pending else None
+        sends: list = []
+        if not self._run_cache_ops(out, base, cid, rec, ai, ct, sends):
+            return None
+        out[base + CF_STATE] = ct.next_state
+        if ct.has_perform:
+            out[base + CF_PENDING] = 0
+        self._emit_net(out, net, where, sends)
+        return tuple(out)
+
+    def _run_cache_ops(self, out, base, cid, rec, ai, ct, sends) -> bool:
+        """Execute the cache opcode list in place; False -> slow path."""
+        vo = self.version_offset
+        for op in ct.ops:
+            code = op[0]
+            if code == OP_SEND:
+                _, mt, vnet, dest, arg, from_slot, with_data = op
+                if dest == DEST_DIRECTORY:
+                    dst = 1
+                elif dest == DEST_REQUESTOR:
+                    if rec is None or not rec[4]:
+                        return False  # no requestor available
+                    dst = rec[5]
+                elif dest == DEST_SELF:
+                    dst = cid + 2
+                else:  # DEST_SAVED_SLOT
+                    slot = out[base + CF_SAVED + arg]
+                    if slot == 0:
+                        return False  # deferred response without saved requestor
+                    dst = slot + 1
+                if from_slot is not None:
+                    slot = out[base + CF_SAVED + from_slot]
+                    if slot == 0:
+                        return False
+                    req = slot + 1
+                elif rec is not None and rec[4]:
+                    req = rec[5]
+                else:
+                    req = cid + 2
+                data = out[base + CF_DATA]
+                if with_data and data:
+                    sends.append((mt, cid + 2, dst, vnet, 1, req, 1, data + 1, 0, 0))
+                else:
+                    sends.append((mt, cid + 2, dst, vnet, 1, req, 0, 0, 0, 0))
+            elif code == OP_COPY_DATA:
+                if rec is None or not rec[6]:
+                    return False  # "expected data in <message>"
+                out[base + CF_DATA] = rec[7] - 1
+            elif code == OP_INVALIDATE_DATA:
+                out[base + CF_DATA] = 0
+            elif code == OP_SET_ACKS_FROM_MSG:
+                out[base + CF_ACKS_EXPECTED] = (
+                    rec[9] - 1 if rec is not None and rec[8] else 0
+                )
+            elif code == OP_INC_ACKS:
+                out[base + CF_ACKS_RECEIVED] += 1
+            elif code == OP_RESET_ACKS:
+                out[base + CF_ACKS_EXPECTED] = 0
+                out[base + CF_ACKS_RECEIVED] = 0
+            elif code == OP_SAVE_REQUESTOR:
+                out[base + CF_SAVED + op[1]] = (
+                    rec[5] - 1 if rec is not None and rec[4] else 0
+                )
+            else:  # OP_PERFORM_ACCESS
+                if ai is None:
+                    continue  # nothing pending: a replayed hit is a no-op
+                if ai == self.ai_load:
+                    data = out[base + CF_DATA]
+                    if data == 0 or data < out[base + CF_LAST_OBSERVED]:
+                        return False  # load without data / went backwards
+                    out[base + CF_LAST_OBSERVED] = data
+                elif ai == self.ai_store:
+                    data = out[base + CF_DATA]
+                    if data == 0 or data - 1 != out[vo]:
+                        return False  # store without data / data-value violation
+                    version = out[vo] + 1
+                    out[vo] = version
+                    out[base + CF_DATA] = version + 1
+                    out[base + CF_LAST_OBSERVED] = version + 1
+                else:  # replacement: the block leaves the cache
+                    out[base + CF_DATA] = 0
+        return True
+
+    def _apply_directory(self, enc, rec, ct, net, where):
+        out = list(enc[: self.net_offset])
+        d0 = self.dir_offset
+        n = self.num_caches
+        mem_i = d0 + 2 + n
+        owner = out[d0 + 1]
+        sharers = {v for v in enc[d0 + 2 : mem_i] if v}
+        reqf, reqv = rec[4], rec[5]
+        sends: list = []
+        for op in ct.ops:
+            code = op[0]
+            if code == OP_DIR_SEND:
+                _, mt, vnet, dest, with_data, with_ack = op
+                if with_data:
+                    df, dv = 1, out[mem_i] + 2
+                else:
+                    df, dv = 0, 0
+                if with_ack:
+                    count = len(sharers) - (1 if reqf and reqv in sharers else 0)
+                    af, av = 1, count + 2
+                else:
+                    af, av = 0, 0
+                if dest == DEST_REQUESTOR:
+                    if not reqf:
+                        return None  # "needs a requestor"
+                    targets = (reqv,)
+                elif dest == DEST_OWNER:
+                    if owner == 0:
+                        return None  # "needs an owner"
+                    targets = (owner,)
+                else:  # DEST_SHARERS
+                    targets = sorted(
+                        s for s in sharers if not (reqf and s == reqv)
+                    )
+                for dst in targets:
+                    sends.append((mt, 1, dst, vnet, reqf, reqv, df, dv, af, av))
+            elif code == OP_WRITE_MEMORY:
+                if not rec[6]:
+                    return None  # "expected data in <message>"
+                out[mem_i] = rec[7] - 2
+            elif code == OP_SET_OWNER_REQ:
+                owner = reqv if reqf else 0
+            elif code == OP_CLEAR_OWNER:
+                owner = 0
+            elif code == OP_ADD_REQ_SHARER:
+                if not reqf:
+                    return None  # object path would record a null sharer
+                sharers.add(reqv)
+            elif code == OP_ADD_OWNER_SHARER:
+                if owner:
+                    sharers.add(owner)
+            elif code == OP_RM_REQ_SHARER:
+                if reqf:
+                    sharers.discard(reqv)
+            else:  # OP_CLEAR_SHARERS
+                sharers.clear()
+        out[d0] = ct.next_state
+        out[d0 + 1] = owner
+        run = sorted(sharers)
+        run.extend(0 for _ in range(n - len(run)))
+        out[d0 + 2 : mem_i] = run
+        self._emit_net(out, net, where, sends)
+        return tuple(out)
+
+    def _emit_net(self, out: list, net: list, where: int | None, sends: list) -> None:
+        """Append the successor network section: *net* minus the delivered
+        message (channel/record index *where*) plus *sends*, re-normalized
+        exactly like ``Network.deliver`` + ``Network.send``."""
+        if self.ordered:
+            channels: dict = {}
+            for idx, (src, dst, vnet, msgs) in enumerate(net):
+                if idx == where:
+                    msgs = msgs[1:]
+                    if not msgs:
+                        continue
+                channels[(src, dst, vnet)] = list(msgs)
+            for m in sends:
+                channels.setdefault((m[1], m[2], m[3]), []).append(m)
+            out.append(len(channels))
+            for key in sorted(channels):
+                queue = channels[key]
+                out.extend(key)
+                out.append(len(queue))
+                for m in queue:
+                    out.extend(m)
+        else:
+            msgs = [m for i, m in enumerate(net) if i != where]
+            if sends:
+                msgs.extend(sends)
+                msgs.sort()
+            out.append(len(msgs))
+            for m in msgs:
+                out.extend(m)
+
+    # -- predicates and invariants --------------------------------------------------
+    def is_quiescent(self, enc: tuple) -> bool:
+        """Encoded mirror of :meth:`repro.system.System.is_quiescent`."""
+        if enc[self.net_offset] != 0:
+            return False
+        if not self.spec.directory.stable[enc[self.dir_offset]]:
+            return False
+        stable = self.spec.cache.stable
+        width = CACHE_ENCODED_WIDTH
+        return all(stable[enc[cid * width]] for cid in range(self.num_caches))
+
+    def workload_remaining(self, enc: tuple) -> bool:
+        """True when some cache still has accesses left in its budget."""
+        width = CACHE_ENCODED_WIDTH
+        max_accesses = self.max_accesses
+        return any(
+            enc[cid * width + CF_ISSUED] < max_accesses
+            for cid in range(self.num_caches)
+        )
+
+    def check(self, enc: tuple, codes: tuple[str, ...]) -> bool:
+        """Evaluate the compiled invariants named by *codes*; True = all hold.
+
+        On a False return the caller decodes the state and re-runs the object
+        invariants to build the exact violation report -- verdicts are a
+        function of the state alone, so the slow path reproduces them.
+        """
+        permission = self.spec.cache.permission
+        stable = self.spec.cache.stable
+        width = CACHE_ENCODED_WIDTH
+        n = self.num_caches
+        for code in codes:
+            if code == INV_SWMR:
+                writers = readers = 0
+                for cid in range(n):
+                    p = permission[enc[cid * width]]
+                    if p == 2:
+                        writers += 1
+                    elif p == 1:
+                        readers += 1
+                if writers > 1 or (writers and readers):
+                    return False
+            else:  # INV_SINGLE_OWNER
+                stable_writers = 0
+                for cid in range(n):
+                    si = enc[cid * width]
+                    if stable[si] and permission[si] == 2:
+                        stable_writers += 1
+                if stable_writers > 1:
+                    return False
+        return True
+
+
+__all__ = ["TransitionKernel", "AMBIGUOUS", "INV_SWMR", "INV_SINGLE_OWNER"]

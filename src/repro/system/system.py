@@ -146,6 +146,7 @@ class System:
         except AttributeError:  # pragma: no cover - untyped message catalogs
             self._request_names = set()
         self._codec = None
+        self._kernel = None
 
     def codec(self):
         """The :class:`~repro.system.codec.StateCodec` for this configuration.
@@ -159,6 +160,20 @@ class System:
 
             self._codec = StateCodec.for_system(self)
         return self._codec
+
+    def kernel(self):
+        """The compiled :class:`~repro.system.kernel.TransitionKernel` for
+        this configuration (built lazily, cached like the codec).
+
+        Raises :class:`repro.core.fsm.CompilationUnsupported` when the
+        protocol uses constructs the table form cannot express; callers fall
+        back to interpreting this object model directly.
+        """
+        if self._kernel is None:
+            from repro.system.kernel import TransitionKernel
+
+            self._kernel = TransitionKernel(self)
+        return self._kernel
 
     def _tag(self, sends: tuple[Message, ...]) -> tuple[Message, ...]:
         """Assign each outgoing message to its virtual network (0 = requests).

@@ -38,7 +38,12 @@ from repro.verification.engine.canonical import (
     relabel_event,
 )
 from repro.verification.engine.store import StateStore
-from repro.verification.invariants import Invariant, InvariantViolation, default_invariants
+from repro.verification.invariants import (
+    Invariant,
+    InvariantViolation,
+    compiled_invariant_codes,
+    default_invariants,
+)
 
 
 @dataclass
@@ -61,6 +66,9 @@ class VerificationResult:
     symmetry_reduced: bool = False
     #: Name of the search strategy that produced this result.
     strategy: str = "bfs"
+    #: Which transition backend expanded states: "compiled" (the lowered
+    #: table kernel over encoded states) or "object" (the dataclass executor).
+    kernel: str = "object"
 
     @property
     def partial(self) -> bool:
@@ -112,6 +120,9 @@ class Exploration:
         max_states: int,
         check_deadlock: bool,
         strategy_name: str,
+        kernel=None,
+        kernel_codes: tuple[str, ...] | None = None,
+        check_workload_deadlock: bool = False,
     ):
         self.system = system
         self.codec = system.codec()
@@ -121,6 +132,14 @@ class Exploration:
         self.max_states = max_states
         self.check_deadlock = check_deadlock
         self.strategy_name = strategy_name
+        #: Compiled :class:`~repro.system.kernel.TransitionKernel`, or None
+        #: to interpret the object model (``System.apply``) directly.
+        self.kernel = kernel
+        #: Encoded evaluator codes for ``invariants`` (compiled mode only).
+        self.kernel_codes = kernel_codes
+        #: Report quiescent states that still hold unissued workload budget
+        #: as deadlocks (``verify(..., deadlock=True)``).
+        self.check_workload_deadlock = check_workload_deadlock
         self.start = time.perf_counter()
         self.explored = 0
         self.transitions = 0
@@ -130,6 +149,8 @@ class Exploration:
         #: Packed encoding of the (canonical) root, for strategies that ship
         #: encoded frontiers instead of state objects.
         self.root_key: bytes | None = None
+        #: Flat int-tuple encoding of the (canonical) root (compiled mode).
+        self.root_enc: tuple | None = None
 
     # -- setup -----------------------------------------------------------------
     def seed(self) -> VerificationResult | None:
@@ -147,6 +168,7 @@ class Exploration:
             if root_perm != self.perms[0]:
                 initial = codec.decode(enc)
         self.root_key = codec.pack(enc)
+        self.root_enc = enc
         root_id, _ = self.store.intern(self.root_key, perm=root_perm)
         self.root = (root_id, initial)
         for invariant in self.invariants:
@@ -175,8 +197,13 @@ class Exploration:
         # links[0] belongs to the root: no event, just its canonicalizing perm.
         sigma = links[0][1]
         events: list[SystemEvent] = []
+        decode_event = self.codec.decode_event
         for event, perm in links[1:]:
             assert event is not None
+            if not isinstance(event, SystemEvent):
+                # The hot path stores codec event encodings; traces are the
+                # only consumer, so they decode lazily -- here, on failure.
+                event = decode_event(event)
             events.append(relabel_event(event, None if sigma is None else invert(sigma)))
             if perm is not None:
                 sigma = perm if sigma is None else compose(perm, sigma)
@@ -196,6 +223,7 @@ class Exploration:
             complete_states=self.complete_states,
             symmetry_reduced=self.perms is not None,
             strategy=self.strategy_name,
+            kernel="compiled" if self.kernel is not None else "object",
             **kwargs,
         )
 
@@ -254,16 +282,51 @@ class Exploration:
         return self._result(True, truncated=self.truncated)
 
 
+def _resolve_kernel(system, kernel, invariant_tuple):
+    """Resolve the ``kernel=`` argument to ``(TransitionKernel | None, codes)``.
+
+    "compiled" falls back to the object backend -- silently, because the two
+    backends are pinned to identical exploration -- whenever the compiled
+    fast path cannot reproduce the object semantics exactly:
+
+    * *system* is a ``System`` subclass (tests and tooling override event
+      enumeration or application);
+    * an invariant has no encoded evaluator
+      (:func:`repro.verification.invariants.compiled_invariant_codes`);
+    * the protocol uses a construct the table form cannot express
+      (:class:`repro.core.fsm.CompilationUnsupported`).
+    """
+    if kernel == "object":
+        return None, None
+    if kernel != "compiled":
+        raise ValueError(
+            f"unknown kernel {kernel!r} (expected 'compiled' or 'object')"
+        )
+    if type(system) is not System:
+        return None, None
+    codes = compiled_invariant_codes(invariant_tuple)
+    if codes is None:
+        return None, None
+    from repro.core.fsm import CompilationUnsupported
+
+    try:
+        return system.kernel(), codes
+    except CompilationUnsupported:
+        return None, None
+
+
 def verify(
     system: System,
     *,
     invariants: Sequence[Invariant] | None = None,
     max_states: int = 2_000_000,
     check_deadlock: bool = True,
+    deadlock: bool = False,
     symmetry: bool = False,
     strategy: object = "bfs",
     processes: int | None = None,
     hash_compaction: bool = False,
+    kernel: str = "compiled",
 ) -> VerificationResult:
     """Exhaustively explore *system* and check all invariants.
 
@@ -277,6 +340,14 @@ def verify(
         instead of running unbounded.  The parallel strategy enforces the
         budget per frontier level, so its cut can land up to one level
         earlier than the serial strategies'.
+    ``deadlock``
+        Also report *workload deadlocks*: a canonically-reachable quiescent
+        state whose caches still hold unissued workload budget but where no
+        transition is enabled can never absorb the remaining accesses; with
+        ``deadlock=True`` it is reported as a deadlock failure with a
+        replayable trace instead of being counted as a completed run.  Off
+        by default: the seed explorer counts such states as complete, and a
+        mid-search failure would cut the pinned state counts short.
     ``symmetry``
         Canonicalize cache IDs before de-duplication (Murphi scalarset
         reduction).  Explores one representative per cache-permutation orbit
@@ -294,6 +365,17 @@ def verify(
     ``hash_compaction``
         Key the visited-set by a 128-bit digest of each state instead of the
         state object, trading a vanishing collision risk for memory.
+    ``kernel``
+        ``"compiled"`` (default) expands states with the compiled transition
+        kernel (:mod:`repro.system.kernel`): the generated protocol is
+        lowered to integer dispatch tables at setup and successors, events
+        and invariant verdicts are computed directly on encoded states --
+        the exploration (order, counts, verdicts, traces) is bit-identical
+        to the object backend, just faster.  ``"object"`` forces the
+        dataclass executor; the compiled mode also falls back to it
+        automatically for ``System`` subclasses, unrecognized invariant
+        callables, or protocols the table form cannot express.
+        ``result.kernel`` records which backend ran.
     """
     from repro.verification.engine.search import resolve_strategy
 
@@ -306,6 +388,7 @@ def verify(
         if symmetry and system.num_caches > 1
         else None
     )
+    kernel_impl, kernel_codes = _resolve_kernel(system, kernel, invariant_tuple)
     ctx = Exploration(
         system=system,
         invariants=invariant_tuple,
@@ -314,6 +397,9 @@ def verify(
         max_states=max_states,
         check_deadlock=check_deadlock,
         strategy_name=strat.name,
+        kernel=kernel_impl,
+        kernel_codes=kernel_codes,
+        check_workload_deadlock=deadlock,
     )
     early = ctx.seed()
     if early is not None:

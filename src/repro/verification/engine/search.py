@@ -23,10 +23,21 @@ Three strategies are provided:
   the explored-state count may differ from the serial strategies by up to
   one frontier level (the bound is enforced per level, not per state).
 
-Every strategy operates on an :class:`~repro.verification.engine.core.Exploration`
-context; states are de-duplicated on their packed codec encodings
-(:mod:`repro.system.codec`), so results are identically shaped regardless of
-how the search ran.
+Every strategy runs on one of two **transition backends**, chosen by
+``verify(..., kernel=...)`` and carried on the exploration context:
+
+* the **compiled kernel** (default; :mod:`repro.system.kernel`) expands
+  encoded states end-to-end -- enabled events, successors, quiescence and
+  invariant verdicts all computed on flat int tuples, with the frontier
+  carrying encodings and the store interning packed bytes.  States and
+  events decode lazily, only to report a failure (the object executor then
+  reproduces the exact error/violation text as the differential oracle);
+* the **object backend** interprets ``System.apply`` over dataclass trees
+  (the pre-compilation behaviour), used for ``System`` subclasses and
+  custom invariants.
+
+Both backends visit the same states in the same order and report
+identically-shaped results.
 """
 
 from __future__ import annotations
@@ -42,15 +53,21 @@ from repro.verification.engine.canonical import canonicalize_encoded
 _WORKER: tuple | None = None
 
 
-def _init_worker(system, invariants, perms) -> None:
+def _init_worker(system, invariants, perms, kernel_codes) -> None:
     """Install the per-process search context (runs once per worker).
 
-    The codec is (re)built here rather than inherited so each worker owns
-    private memo tables; with the ``fork`` start method the system and
-    invariants arrive by address-space inheritance, never by pickling.
+    The codec (and compiled kernel, when *kernel_codes* is not ``None``) is
+    (re)built here rather than inherited so each worker owns private memo
+    tables; with the ``fork`` start method the system and invariants arrive
+    by address-space inheritance, never by pickling.
     """
     global _WORKER
-    _WORKER = (system, invariants, perms, system.codec(), set())
+    kernel = system.kernel() if kernel_codes is not None else None
+    _WORKER = (system, invariants, perms, system.codec(), set(), kernel, kernel_codes)
+
+
+def _leaf_record(sid, quiescent, stuck):
+    return ("leaf", sid, quiescent, stuck)
 
 
 def _expand_batch(batch):
@@ -58,7 +75,9 @@ def _expand_batch(batch):
 
     Returns one record per state, in input order:
 
-    * ``("leaf", sid, quiescent)`` -- no enabled events;
+    * ``("leaf", sid, quiescent, stuck)`` -- no enabled events; ``stuck``
+      flags a quiescent state that still holds unissued workload budget
+      (the ``deadlock=True`` report);
     * ``("exp", sid, applied, succs, err)`` -- ``succs`` is a list of
       ``(encoded_event, packed_successor, perm, violation)`` and ``err`` is
       ``None`` or ``(encoded_event, error_message)`` for an event whose
@@ -73,7 +92,9 @@ def _expand_batch(batch):
     counts every applied event, so transition counts match the serial
     strategies.
     """
-    system, invariants, perms, codec, seen = _WORKER
+    if _WORKER[5] is not None:
+        return _expand_batch_compiled(batch)
+    system, invariants, perms, codec, seen, _, _ = _WORKER
     identity = perms[0] if perms is not None else None
     decode_packed = codec.decode_packed
     encode = codec.encode
@@ -84,7 +105,9 @@ def _expand_batch(batch):
         state = decode_packed(key)
         events = system.enabled_events(state)
         if not events:
-            records.append(("leaf", sid, system.is_quiescent(state)))
+            quiescent = system.is_quiescent(state)
+            stuck = quiescent and not system.is_complete(state)
+            records.append(_leaf_record(sid, quiescent, stuck))
             continue
         succs = []
         err = None
@@ -118,6 +141,63 @@ def _expand_batch(batch):
     return records
 
 
+def _slow_outcome(system, codec, enc, eev):
+    """The object-executor outcome for one event the kernel flagged.
+
+    The compiled kernel returns ``None`` instead of reproducing error
+    behaviour; replaying the single event through ``System.apply`` yields
+    the exact seed-identical error outcome (or, for benign corner cases, the
+    successor state) -- the object executor is the oracle.
+    """
+    return system.apply(codec.decode(enc), codec.decode_event(eev))
+
+
+def _expand_batch_compiled(batch):
+    """Compiled-kernel twin of :func:`_expand_batch`: states stay encoded."""
+    system, invariants, perms, codec, seen, kernel, codes = _WORKER
+    unpack = codec.unpack
+    pack = codec.pack
+    records = []
+    for sid, key in batch:
+        enc = unpack(key)
+        plans, net = kernel.enabled(enc)
+        if not plans:
+            quiescent = kernel.is_quiescent(enc)
+            stuck = quiescent and kernel.workload_remaining(enc)
+            records.append(_leaf_record(sid, quiescent, stuck))
+            continue
+        succs = []
+        err = None
+        applied = 0
+        for plan in plans:
+            applied += 1
+            eev = plan[1]
+            succ = kernel.apply(enc, plan, net)
+            if succ is None:
+                outcome = _slow_outcome(system, codec, enc, eev)
+                if outcome.error is not None:
+                    err = (eev, outcome.error)
+                    break
+                succ = codec.encode(outcome.state)
+            perm = None
+            if perms is not None:
+                succ, perm = canonicalize_encoded(succ, codec, perms)
+            successor_key = pack(succ)
+            if successor_key in seen:
+                continue
+            seen.add(successor_key)
+            violation = None
+            if not kernel.check(succ, codes):
+                successor = codec.decode(succ)
+                for invariant in invariants:
+                    violation = invariant(system, successor)
+                    if violation is not None:
+                        break
+            succs.append((eev, successor_key, perm, violation))
+        records.append(("exp", sid, applied, succs, err))
+    return records
+
+
 # -- strategies ----------------------------------------------------------------
 
 
@@ -131,7 +211,14 @@ class SearchStrategy:
 
 
 def _run_serial(ctx, *, lifo: bool):
-    """Shared serial worklist search (FIFO = BFS, LIFO = DFS).
+    """Shared serial worklist search (FIFO = BFS, LIFO = DFS)."""
+    if ctx.kernel is not None:
+        return _run_serial_compiled(ctx, lifo=lifo)
+    return _run_serial_object(ctx, lifo=lifo)
+
+
+def _run_serial_object(ctx, *, lifo: bool):
+    """Object-backend serial search (the differential oracle's loop).
 
     The frontier holds decoded canonical state objects (expansion needs
     them); the visited set holds only packed encodings.  With symmetry off
@@ -157,8 +244,12 @@ def _run_serial(ctx, *, lifo: bool):
         events = system.enabled_events(state)
         if not events:
             # A state with no enabled events is fine if nothing is actually
-            # outstanding (quiescent); otherwise it is a deadlock.
+            # outstanding (quiescent); otherwise it is a deadlock.  A
+            # quiescent state that still holds workload budget can never
+            # absorb it -- reported only under `deadlock=True`.
             if system.is_quiescent(state):
+                if ctx.check_workload_deadlock and not system.is_complete(state):
+                    return ctx.failure(deadlock=True, leaf_id=sid)
                 ctx.complete_states += 1
                 continue
             if ctx.check_deadlock:
@@ -184,6 +275,66 @@ def _run_serial(ctx, *, lifo: bool):
                 if violation is not None:
                     return ctx.failure(violation=violation, leaf_id=new_id)
             frontier.append((new_id, successor))
+    return ctx.success()
+
+
+def _run_serial_compiled(ctx, *, lifo: bool):
+    """Compiled-kernel serial search: the frontier and the visited set both
+    hold encodings; nothing decodes until a failure is reported."""
+    system = ctx.system
+    codec = ctx.codec
+    store = ctx.store
+    perms = ctx.perms
+    kernel = ctx.kernel
+    codes = ctx.kernel_codes
+    pack = codec.pack
+    intern = store.intern
+    enabled = kernel.enabled
+    apply_plan = kernel.apply
+    check = kernel.check
+    frontier: deque = deque([(ctx.root[0], ctx.root_enc)])
+    pop = frontier.pop if lifo else frontier.popleft
+    while frontier:
+        sid, enc = pop()
+        if ctx.explored >= ctx.max_states:
+            ctx.truncated = True
+            break
+        ctx.explored += 1
+        plans, net = enabled(enc)
+        if not plans:
+            if kernel.is_quiescent(enc):
+                if ctx.check_workload_deadlock and kernel.workload_remaining(enc):
+                    return ctx.failure(deadlock=True, leaf_id=sid)
+                ctx.complete_states += 1
+                continue
+            if ctx.check_deadlock:
+                return ctx.failure(deadlock=True, leaf_id=sid)
+            continue
+        for plan in plans:
+            ctx.transitions += 1
+            succ = apply_plan(enc, plan, net)
+            if succ is None:
+                outcome = _slow_outcome(system, codec, enc, plan[1])
+                if outcome.error is not None:
+                    return ctx.failure(
+                        error=outcome.error,
+                        leaf_id=sid,
+                        final_event=codec.decode_event(plan[1]),
+                    )
+                succ = codec.encode(outcome.state)
+            perm = None
+            if perms is not None:
+                succ, perm = canonicalize_encoded(succ, codec, perms)
+            new_id, is_new = intern(pack(succ), parent=sid, event=plan[1], perm=perm)
+            if not is_new:
+                continue
+            if not check(succ, codes):
+                successor = codec.decode(succ)
+                for invariant in ctx.invariants:
+                    violation = invariant(system, successor)
+                    if violation is not None:
+                        return ctx.failure(violation=violation, leaf_id=new_id)
+            frontier.append((new_id, succ))
     return ctx.success()
 
 
@@ -223,7 +374,7 @@ class ParallelBreadthFirst(SearchStrategy):
         with mp.Pool(
             processes,
             initializer=_init_worker,
-            initargs=(ctx.system, ctx.invariants, ctx.perms),
+            initargs=(ctx.system, ctx.invariants, ctx.perms, ctx.kernel_codes),
         ) as pool:
             while frontier:
                 remaining = ctx.max_states - ctx.explored
@@ -258,8 +409,10 @@ class ParallelBreadthFirst(SearchStrategy):
     def _absorb(ctx, record, next_frontier):
         """Merge one worker record into the store; return a failure result or None."""
         if record[0] == "leaf":
-            _, sid, quiescent = record
+            _, sid, quiescent, stuck = record
             if quiescent:
+                if ctx.check_workload_deadlock and stuck:
+                    return ctx.failure(deadlock=True, leaf_id=sid)
                 ctx.complete_states += 1
                 return None
             if ctx.check_deadlock:
@@ -267,10 +420,11 @@ class ParallelBreadthFirst(SearchStrategy):
             return None
         _, sid, applied, succs, err = record
         ctx.transitions += applied
-        decode_event = ctx.codec.decode_event
         for encoded_event, successor_key, perm, violation in succs:
+            # Events are stored in their encoded form; counterexample traces
+            # decode them lazily (Exploration.trace_events), on failure only.
             new_id, is_new = ctx.store.intern(
-                successor_key, parent=sid, event=decode_event(encoded_event), perm=perm
+                successor_key, parent=sid, event=encoded_event, perm=perm
             )
             if violation is not None:
                 # The worker checks invariants before cross-worker dedup; a
@@ -283,7 +437,9 @@ class ParallelBreadthFirst(SearchStrategy):
         if err is not None:
             encoded_event, message = err
             return ctx.failure(
-                error=message, leaf_id=sid, final_event=decode_event(encoded_event)
+                error=message,
+                leaf_id=sid,
+                final_event=ctx.codec.decode_event(encoded_event),
             )
         return None
 

@@ -76,3 +76,29 @@ def single_owner_invariant(system: System, state: GlobalState) -> InvariantViola
 
 def default_invariants() -> Sequence[Invariant]:
     return (swmr_invariant, single_owner_invariant)
+
+
+#: Invariants the compiled kernel can evaluate directly on encoded states,
+#: mapped to their :mod:`repro.system.kernel` evaluator codes.
+COMPILED_INVARIANTS: dict[Invariant, str] = {
+    swmr_invariant: "swmr",
+    single_owner_invariant: "single_owner",
+}
+
+
+def compiled_invariant_codes(
+    invariants: Sequence[Invariant],
+) -> tuple[str, ...] | None:
+    """Kernel evaluator codes for *invariants*, in order.
+
+    Returns ``None`` when any invariant has no encoded evaluator -- the
+    search then runs on the object backend, which calls arbitrary
+    ``(system, state)`` predicates unchanged.
+    """
+    codes = []
+    for invariant in invariants:
+        code = COMPILED_INVARIANTS.get(invariant)
+        if code is None:
+            return None
+        codes.append(code)
+    return tuple(codes)

@@ -137,3 +137,86 @@ class TestEncodedCanonicalAgreement:
             again, perm = canonicalize_encoded(rep_enc, codec, perms)
             assert again == rep_enc
             assert perm == perms[0]
+
+
+class _NameTable:
+    def __init__(self, names):
+        self._names = list(names)
+
+    def state_names(self):
+        return self._names
+
+    def names(self):
+        return self._names
+
+
+class _SyntheticProtocol:
+    """Protocol stub exposing just the catalogs the codec indexes."""
+
+    def __init__(self, *, cache_states, dir_states, mtypes):
+        self.cache = _NameTable(cache_states)
+        self.directory = _NameTable(dir_states)
+        self.messages = _NameTable(mtypes)
+
+
+class TestLaneWidening:
+    """The codec auto-selects a 32-bit lane layout when any field can exceed
+    the uint16 range (it used to raise a hard error)."""
+
+    def test_bundled_protocols_keep_the_16_bit_layout(self, sampled_by_protocol):
+        for system, _ in sampled_by_protocol.values():
+            codec = system.codec()
+            assert codec.typecode == "H" and codec.lane_bytes == 2
+
+    def test_huge_state_catalog_selects_32_bit_lanes_and_round_trips(self):
+        from repro.system import StateCodec
+        from repro.system.node_state import CacheNodeState, DirectoryNodeState
+        from repro.system.system import GlobalState
+        from repro.system.network import UnorderedNetwork
+
+        names = [f"T{i:05d}" for i in range(70_000)]
+        protocol = _SyntheticProtocol(
+            cache_states=names, dir_states=["DI", "DM"], mtypes=["Get", "Put"]
+        )
+        codec = StateCodec(protocol, 2, ordered=False)
+        assert codec.lane_bytes == 4
+        state = GlobalState(
+            caches=(
+                CacheNodeState(fsm_state=names[69_999], data=5, issued=1),
+                CacheNodeState(fsm_state=names[0]),
+            ),
+            directory=DirectoryNodeState(fsm_state="DM", owner=0,
+                                         sharers=frozenset({1}), memory=5),
+            network=UnorderedNetwork(),
+            latest_version=5,
+        )
+        enc = codec.encode(state)
+        assert codec.decode(enc) == state
+        packed = codec.pack(enc)
+        assert len(packed) == 4 * len(enc)
+        assert codec.unpack(packed) == enc
+        assert codec.decode_packed(codec.encode_packed(state)) == state
+
+    def test_value_bound_alone_widens_the_lanes(self):
+        from repro.system import StateCodec
+
+        protocol = _SyntheticProtocol(
+            cache_states=["I", "M"], dir_states=["DI"], mtypes=["Get"]
+        )
+        narrow = StateCodec(protocol, 2, ordered=True, value_bound=1_000)
+        wide = StateCodec(protocol, 2, ordered=True, value_bound=100_000)
+        assert narrow.typecode == "H"
+        assert wide.lane_bytes == 4
+
+    def test_deep_workload_system_still_verifies(self, msi_nonstalling):
+        """End to end through the system hook: a workload whose version bound
+        crosses the 16-bit range runs on wide lanes and still verifies (tiny
+        budget -- the point is the layout, not the coverage)."""
+        from repro.system import System, Workload
+        from repro.verification import verify
+
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=40_000))
+        assert system.codec().lane_bytes == 4
+        result = verify(system, max_states=200)
+        assert result.ok and result.partial

@@ -1,0 +1,104 @@
+"""Workload-deadlock detection (``verify(..., deadlock=True)``).
+
+A quiescent, canonically-reachable state whose caches still hold unissued
+workload budget -- but where no transition is enabled -- can never absorb
+the remaining accesses: the protocol has wedged the workload, not just a
+message.  The seed explorer counts such states as completed runs, so the
+check is **off by default** (keeping the pinned state counts); with
+``deadlock=True`` the state is reported as a deadlock failure with a
+replayable trace, on both transition kernels and every search strategy.
+"""
+
+import pytest
+
+from repro.core import GenerationConfig, generate
+from repro.core.fsm import AccessEvent, event_key
+from repro.dsl.types import AccessKind
+from repro.system import System, Workload
+from repro.verification import verify
+
+
+def drop_cache_accesses(generated, state: str):
+    """Sabotage a generated protocol: remove every core-access transition
+    from cache state *state* (mutation in place -- generate freshly)."""
+    cache = generated.cache
+    cache._transitions = [
+        t
+        for t in cache.transitions()
+        if not (t.state == state and isinstance(t.event, AccessEvent))
+    ]
+    cache._index = {}
+    for t in cache._transitions:
+        cache._index.setdefault((t.state, event_key(t.event)), []).append(t)
+    return generated
+
+
+@pytest.fixture(scope="module")
+def wedged_msi(msi_spec):
+    """MSI whose caches can never issue an access out of stable S: a cache
+    that loaded once parks in S with budget left and nothing enabled."""
+    return drop_cache_accesses(generate(msi_spec, GenerationConfig()), "S")
+
+
+def _system(generated, num_caches=2):
+    return System(generated, num_caches=num_caches,
+                  workload=Workload(max_accesses_per_cache=2,
+                                    access_kinds=(AccessKind.LOAD,
+                                                  AccessKind.STORE)))
+
+
+MODES = [
+    dict(),
+    dict(kernel="object"),
+    dict(symmetry=True),
+    dict(symmetry=True, strategy="parallel", processes=2),
+]
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: "-".join(
+    f"{k}={v}" for k, v in m.items()) or "compiled")
+def test_workload_deadlock_reported_with_replayable_trace(wedged_msi, mode):
+    system = _system(wedged_msi)
+    result = verify(system, deadlock=True, **mode)
+    assert not result.ok and result.deadlock
+    assert result.trace, "a counterexample trace must be reported"
+    # Replay: the trace must land in a quiescent state with no enabled
+    # transitions while some cache still holds unissued budget.
+    state = system.initial_state()
+    for event in result.trace_events:
+        assert event in system.enabled_events(state)
+        outcome = system.apply(state, event)
+        assert outcome.error is None
+        state = outcome.state
+    assert system.is_quiescent(state)
+    assert not system.enabled_events(state)
+    assert any(c.issued < system.workload.max_accesses_per_cache
+               for c in state.caches)
+
+
+def test_workload_deadlock_off_by_default(wedged_msi):
+    """Without the flag, the wedged runs count as complete (seed behaviour)."""
+    result = verify(_system(wedged_msi))
+    assert result.ok and result.complete_states > 0
+
+
+def test_kernels_agree_on_workload_deadlock_point(wedged_msi):
+    system = _system(wedged_msi)
+    compiled = verify(system, deadlock=True)
+    objected = verify(system, deadlock=True, kernel="object")
+    assert not compiled.ok and not objected.ok
+    assert compiled.deadlock and objected.deadlock
+    assert compiled.states_explored == objected.states_explored
+    assert compiled.trace == objected.trace
+
+
+def test_deadlock_flag_keeps_counts_on_correct_protocols(msi_nonstalling):
+    """On a correct protocol the stricter check never fires, so the pinned
+    exploration is untouched."""
+    system = System(msi_nonstalling, num_caches=2,
+                    workload=Workload(max_accesses_per_cache=2))
+    plain = verify(system)
+    strict = verify(system, deadlock=True)
+    assert plain.ok and strict.ok
+    assert strict.states_explored == plain.states_explored == 1638
+    assert strict.transitions_explored == plain.transitions_explored

@@ -1,0 +1,226 @@
+"""Differential tests: the compiled transition kernel vs the object executor.
+
+The compiled kernel (:mod:`repro.system.kernel`) is the default search
+backend, so its correctness argument is *exact agreement* with the object
+execution substrate it replaced on the hot path:
+
+* per-state expansion parity -- identical enabled events (in order),
+  bit-identical successor encodings, identical error positions, identical
+  quiescence and invariant verdicts -- property-tested over random-walk
+  samples of every bundled protocol in both generation configs, including
+  the MOSI saved-requestor (deferred-send) states and the MSI-Unordered
+  late-absorb redirect states;
+* whole-search parity -- ``verify(kernel="compiled")`` reproduces the object
+  backend's exploration exactly (states, transitions, verdicts), pinned to
+  the seed counts, and mutant protocols fail with the same error text and
+  the same replayable trace;
+* the fallback contract -- ``System`` subclasses and unrecognized invariant
+  callables silently run on the object backend.
+"""
+
+import pytest
+
+from repro import protocols
+from repro.core import GenerationConfig, generate
+from repro.dsl.types import AccessKind
+from repro.system import System, Workload
+from repro.verification import default_invariants, verify
+from repro.verification.invariants import compiled_invariant_codes
+
+from verification_helpers import (
+    MessageDroppingSystem,
+    make_missing_inv_mutant,
+    make_swmr_mutant,
+    sample_reachable_states,
+)
+
+ALL_PROTOCOLS = protocols.available_protocols()
+CONFIGS = ["nonstalling", "stalling"]
+
+#: Kernel evaluator codes for the default invariants (SWMR, single-owner).
+DEFAULT_CODES = compiled_invariant_codes(tuple(default_invariants()))
+
+
+def _workload(name: str) -> Workload:
+    if name == "MSI-Unordered":
+        return Workload(max_accesses_per_cache=2,
+                        access_kinds=(AccessKind.LOAD, AccessKind.STORE))
+    return Workload(max_accesses_per_cache=2)
+
+
+def assert_expansion_parity(system, state):
+    """One-state differential check: enumeration, application, predicates.
+
+    The kernel may return ``None`` from ``apply`` (its slow-path delegation
+    signal); parity then requires the object executor to report an error for
+    that event -- on the bundled protocols every delegation is an error path.
+    """
+    codec = system.codec()
+    kernel = system.kernel()
+    enc = codec.encode(state)
+    events = system.enabled_events(state)
+    plans, net = kernel.enabled(enc)
+    assert [plan[1] for plan in plans] == [codec.encode_event(e) for e in events]
+    assert kernel.is_quiescent(enc) == system.is_quiescent(state)
+    expected_verdict = all(inv(system, state) is None for inv in default_invariants())
+    assert kernel.check(enc, DEFAULT_CODES) == expected_verdict
+    for event, plan in zip(events, plans):
+        outcome = system.apply(state, event)
+        succ = kernel.apply(enc, plan, net)
+        if succ is None:
+            assert outcome.error is not None, (
+                f"kernel delegated {event} but the object executor succeeded"
+            )
+        else:
+            assert outcome.error is None, (
+                f"kernel applied {event} but the object executor errored: "
+                f"{outcome.error}"
+            )
+            assert succ == codec.encode(outcome.state), f"successor mismatch on {event}"
+
+
+@pytest.mark.parametrize("config_label", CONFIGS)
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_random_walk_expansion_parity(all_generated, name, config_label):
+    system = System(all_generated[(name, config_label)], num_caches=2,
+                    workload=_workload(name))
+    states = sample_reachable_states(system, seed=17 + len(name), walks=6,
+                                     max_steps=30)
+    for state in states:
+        assert_expansion_parity(system, state)
+
+
+def test_saved_requestor_states_parity(all_generated):
+    """MOSI nonstalling at 3 caches reaches deferred-send states whose saved
+    slots hold cache IDs (the `requestor_from_slot` stamping of the owner
+    recall); the kernel must expand those bit-identically too."""
+    system = System(all_generated[("MOSI", "nonstalling")], num_caches=3,
+                    workload=Workload(max_accesses_per_cache=2))
+    states = sample_reachable_states(system, seed=29, walks=10, max_steps=60)
+    codec = system.codec()
+    assert any(codec.has_saved_ids(codec.encode(s)) for s in states), (
+        "sampling never reached a saved-requestor state; pick another seed"
+    )
+    for state in states:
+        assert_expansion_parity(system, state)
+
+
+def test_late_absorb_states_parity(all_generated):
+    """MSI-Unordered nonstalling reaches the late-absorb redirect states of
+    the PR 2 fix (e.g. IM_AD_I); pin the kernel's agreement through them."""
+    system = System(all_generated[("MSI-Unordered", "nonstalling")], num_caches=3,
+                    workload=Workload(max_accesses_per_cache=2,
+                                      access_kinds=(AccessKind.LOAD,
+                                                    AccessKind.STORE)))
+    states = sample_reachable_states(system, seed=43, walks=10, max_steps=60)
+    absorb_states = {"IM_AD_I", "IM_AD_SI", "IM_A_I", "IM_A_SI", "SM_AD_I",
+                     "SM_A_I", "IS_D_I"}
+    assert any(
+        cache.fsm_state in absorb_states for s in states for cache in s.caches
+    ), "sampling never reached a late-absorb state; pick another seed"
+    for state in states:
+        assert_expansion_parity(system, state)
+
+
+@pytest.mark.parametrize("config_label", CONFIGS)
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+def test_whole_search_parity_with_object_backend(all_generated, name, config_label):
+    from repro.verification import single_owner_invariant
+
+    invariants = [single_owner_invariant] if name == "TSO-CC" else None
+    system = System(all_generated[(name, config_label)], num_caches=2,
+                    workload=_workload(name))
+    compiled = verify(system, invariants=invariants)
+    objected = verify(system, invariants=invariants, kernel="object")
+    assert compiled.kernel == "compiled" and objected.kernel == "object"
+    assert compiled.ok and objected.ok
+    assert compiled.states_explored == objected.states_explored
+    assert compiled.transitions_explored == objected.transitions_explored
+    assert compiled.complete_states == objected.complete_states
+
+
+def test_pinned_seed_counts_on_compiled_kernel(msi_nonstalling):
+    """The compiled default reproduces the seed explorer bit-exactly."""
+    system = System(msi_nonstalling, num_caches=2,
+                    workload=Workload(max_accesses_per_cache=2))
+    result = verify(system)
+    assert result.kernel == "compiled"
+    assert result.ok
+    assert result.states_explored == 1638
+    assert result.transitions_explored == 2954
+
+
+@pytest.mark.parametrize("symmetry", [False, True])
+def test_error_traces_identical_across_kernels(msi_spec, symmetry):
+    mutant = make_missing_inv_mutant(msi_spec)
+    system = System(mutant, num_caches=2,
+                    workload=Workload(max_accesses_per_cache=2))
+    compiled = verify(system, symmetry=symmetry)
+    objected = verify(system, symmetry=symmetry, kernel="object")
+    assert not compiled.ok and not objected.ok
+    assert compiled.error == objected.error
+    assert compiled.trace == objected.trace
+    assert compiled.states_explored == objected.states_explored
+
+
+def test_violation_traces_identical_across_kernels(msi_spec):
+    mutant = make_swmr_mutant(msi_spec)
+    system = System(mutant, num_caches=2,
+                    workload=Workload(max_accesses_per_cache=2))
+    compiled = verify(system)
+    objected = verify(system, kernel="object")
+    assert not compiled.ok and not objected.ok
+    assert compiled.violation is not None and objected.violation is not None
+    assert str(compiled.violation) == str(objected.violation)
+    assert compiled.trace == objected.trace
+
+
+def test_parallel_strategy_runs_on_compiled_kernel(msi_nonstalling):
+    system = System(msi_nonstalling, num_caches=2,
+                    workload=Workload(max_accesses_per_cache=2))
+    serial = verify(system, symmetry=True)
+    parallel = verify(system, symmetry=True, strategy="parallel", processes=2)
+    assert parallel.kernel == "compiled"
+    assert parallel.ok and serial.ok
+    assert parallel.states_explored == serial.states_explored
+    assert parallel.transitions_explored == serial.transitions_explored
+
+
+class TestFallbackContract:
+    def test_system_subclass_falls_back_to_object(self, msi_stalling):
+        system = MessageDroppingSystem(
+            msi_stalling, num_caches=2,
+            workload=Workload(max_accesses_per_cache=1),
+            dropped_mtype="GetM",
+        )
+        result = verify(system)
+        assert result.kernel == "object"
+        assert not result.ok and result.deadlock
+
+    def test_custom_invariant_falls_back_to_object(self, msi_nonstalling):
+        def never_fails(system, state):
+            return None
+
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1))
+        result = verify(system, invariants=[never_fails])
+        assert result.kernel == "object" and result.ok
+
+    def test_known_invariant_subset_stays_compiled(self, msi_nonstalling):
+        from repro.verification import swmr_invariant
+
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1))
+        result = verify(system, invariants=[swmr_invariant])
+        assert result.kernel == "compiled" and result.ok
+
+    def test_explicit_object_kernel_is_honored(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1))
+        result = verify(system, kernel="object")
+        assert result.kernel == "object" and result.ok
+
+    def test_unknown_kernel_name_rejected(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2)
+        with pytest.raises(ValueError):
+            verify(system, kernel="jit")
