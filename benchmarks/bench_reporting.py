@@ -53,8 +53,15 @@ def record_run(
     symmetry: bool,
     processes: int | None = None,
     path: Path | None = None,
+    extra: dict | None = None,
 ) -> dict:
-    """Append one :class:`VerificationResult` measurement and return the entry."""
+    """Append one :class:`VerificationResult` measurement and return the entry.
+
+    *extra* merges additional benchmark-specific fields into the entry (e.g.
+    peak memory for the nightly full-space runs).  When the result carries
+    the engine's measured ``stats`` (decode count, canonicalization vs
+    expansion split), they are recorded under ``"stats"``.
+    """
     elapsed = result.elapsed_seconds
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -76,8 +83,51 @@ def record_run(
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
     }
+    stats = getattr(result, "stats", None)
+    if stats:
+        entry["stats"] = stats
+    if extra:
+        entry.update(extra)
     target = path or results_path()
     entries = load_results(target)
     entries.append(entry)
     target.write_text(json.dumps(entries, indent=2) + "\n")
     return entry
+
+
+def baseline_states_per_second(
+    bench_id: str,
+    *,
+    kernel: str | None = None,
+    symmetry: bool | None = None,
+    path: Path | None = None,
+) -> float | None:
+    """Median ``states_per_second`` of the recorded trajectory for *bench_id*.
+
+    Used by the perf-smoke regression gate: the committed
+    ``BENCH_results.json`` carries the per-PR trajectory, so a fresh run can
+    be compared against the typical historical throughput of the same
+    benchmark configuration.  Entries recorded on a host with the *current*
+    CPU count are preferred when any exist — a CI runner then compares
+    against its own class of machine once it has contributed entries, and
+    only falls back to the cross-host median (with whatever slack the
+    caller's ratio provides) before that.  Returns ``None`` when no prior
+    entry matches at all.
+    """
+    matching = [
+        entry
+        for entry in load_results(path)
+        if entry.get("bench_id") == bench_id
+        and entry.get("states_per_second")
+        and (kernel is None or entry.get("kernel") == kernel)
+        and (symmetry is None or entry.get("symmetry") == symmetry)
+    ]
+    if not matching:
+        return None
+    same_host_class = [
+        entry for entry in matching if entry.get("cpu_count") == os.cpu_count()
+    ]
+    pool = sorted(
+        entry["states_per_second"] for entry in (same_host_class or matching)
+    )
+    return float(pool[len(pool) // 2])

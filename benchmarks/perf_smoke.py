@@ -6,12 +6,18 @@ perf trajectory without running a full benchmark suite::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py \
         --protocol MSI --config stalling --caches 3 --accesses 2 \
-        --symmetry --max-states 20000
+        --symmetry on --max-states 20000 --fail-on-regression 0.5
 
 The ``--max-states`` budget exercises ``verify()``'s clean partial-result
 abort: the run stops at the budget, reports the explored prefix, and still
-records states/second.  Exit status is non-zero only when the search finds a
-real violation/error -- a partial PASS is a successful smoke run.
+records states/second.  ``--symmetry {on,off}`` sweeps the reduction axis
+(bare ``--symmetry`` keeps meaning ``on``), the measured
+``result.stats`` split (canonicalization vs expansion, decode count) is
+printed and recorded with every entry, and ``--fail-on-regression RATIO``
+gates the run's throughput against the committed trajectory median for the
+same bench id / kernel / symmetry combination.  Exit status is non-zero
+only when the search finds a real violation/error or a gate fails -- a
+partial PASS is a successful smoke run.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_reporting import record_run, results_path
+from bench_reporting import baseline_states_per_second, record_run, results_path
 
 from repro import protocols
 from repro.core import GenerationConfig, generate
@@ -38,7 +44,11 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["stalling", "nonstalling"])
     parser.add_argument("--caches", type=int, default=3)
     parser.add_argument("--accesses", type=int, default=2)
-    parser.add_argument("--symmetry", action="store_true")
+    parser.add_argument("--symmetry", nargs="?", const="on", default="off",
+                        choices=["on", "off"],
+                        help="symmetry axis: 'on' runs the cache-ID-reduced "
+                             "search, 'off' the full one (bare --symmetry "
+                             "means 'on', preserving the old flag form)")
     parser.add_argument("--strategy", default="bfs",
                         choices=["bfs", "dfs", "parallel"])
     parser.add_argument("--processes", type=int, default=None)
@@ -53,8 +63,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the same search once per kernel, record "
                              "both, and fail unless the compiled kernel's "
                              "throughput is at least the object kernel's")
+    parser.add_argument("--fail-on-regression", type=float, default=None,
+                        metavar="RATIO",
+                        help="fail when this run's states/second drops below "
+                             "RATIO x the median of the recorded trajectory "
+                             "for the same bench id, kernel and symmetry "
+                             "axis (the appended BENCH_results.json baseline)")
     parser.add_argument("--bench-id", default="perf-smoke")
     args = parser.parse_args(argv)
+    symmetry = args.symmetry == "on"
 
     config = (
         GenerationConfig.stalling()
@@ -66,34 +83,67 @@ def main(argv: list[str] | None = None) -> int:
                     workload=Workload(max_accesses_per_cache=args.accesses))
 
     def run(kernel: str):
+        bench_id = args.bench_id + (f"-{kernel}" if args.compare_kernels else "")
+        # Baseline before recording, so the current run cannot skew its own
+        # reference trajectory.
+        baseline = baseline_states_per_second(
+            bench_id, kernel=kernel, symmetry=symmetry
+        )
         result = verify(
             system,
-            symmetry=args.symmetry,
+            symmetry=symmetry,
             strategy=args.strategy,
             processes=args.processes,
             max_states=args.max_states,
             kernel=kernel,
         )
-        suffix = f"-{kernel}" if args.compare_kernels else ""
         entry = record_run(
-            args.bench_id + suffix, result,
+            bench_id, result,
             protocol=args.protocol, config=args.config,
             num_caches=args.caches, accesses=args.accesses,
-            symmetry=args.symmetry, processes=args.processes,
+            symmetry=symmetry, processes=args.processes,
         )
+        stats = result.stats
         print(f"{args.protocol}/{args.config} {args.caches}c x {args.accesses}a "
-              f"(symmetry={args.symmetry}, strategy={result.strategy}, "
+              f"(symmetry={symmetry}, strategy={result.strategy}, "
               f"kernel={result.kernel}): {result.summary}")
+        expansion = stats.get("expansion_seconds")
+        print(f"  time split: canonicalization "
+              f"{stats.get('canonicalization_seconds', 0.0):.3f}s"
+              f"{' (worker CPU sum)' if expansion is None else ''}, expansion "
+              f"{'n/a' if expansion is None else f'{expansion:.3f}s'}; decodes: "
+              f"{stats.get('decode_count')}")
         print(f"recorded {entry['states_per_second']} states/s "
               f"-> {results_path()}")
-        return result, entry
+        return result, entry, baseline
+
+    def regressed(entry, baseline) -> bool:
+        """Apply the --fail-on-regression gate to one recorded run."""
+        if args.fail_on_regression is None:
+            return False
+        if baseline is None:
+            print("no trajectory baseline for this configuration yet; "
+                  "regression gate skipped")
+            return False
+        floor = args.fail_on_regression * baseline
+        throughput = entry["states_per_second"] or 0
+        print(f"throughput gate: {throughput} states/s vs floor "
+              f"{floor:.0f} ({args.fail_on_regression} x median "
+              f"{baseline:.0f})")
+        if throughput < floor:
+            print("FAIL: reduced-search throughput regressed versus the "
+                  "recorded trajectory baseline")
+            return True
+        return False
 
     if not args.compare_kernels:
-        result, _ = run(args.kernel)
-        return 0 if result.ok else 1
+        result, entry, baseline = run(args.kernel)
+        if not result.ok:
+            return 1
+        return 1 if regressed(entry, baseline) else 0
 
-    object_result, object_entry = run("object")
-    compiled_result, compiled_entry = run("compiled")
+    object_result, object_entry, _ = run("object")
+    compiled_result, compiled_entry, compiled_baseline = run("compiled")
     if not (object_result.ok and compiled_result.ok):
         return 1
     if compiled_result.kernel != "compiled":
@@ -114,7 +164,7 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: the compiled kernel must not be slower than the "
               "object executor")
         return 1
-    return 0
+    return 1 if regressed(compiled_entry, compiled_baseline) else 0
 
 
 if __name__ == "__main__":

@@ -21,10 +21,21 @@ The encoding is designed around three invariants the engine relies on:
    the *same* representative as the object-level oracle
    (:func:`repro.verification.engine.canonical.canonicalize_bruteforce`).
 3. **Relabelable.**  Cache-ID permutations apply directly to the encoded
-   form (:meth:`StateCodec.relabel`): cache blocks move to their permuted
-   positions, saved-requestor slots, directory owner/sharers and message
-   endpoints are remapped in place, and order-normalized sections (sharers,
-   channels, unordered messages) are re-sorted.
+   form: cache blocks move to their permuted positions, saved-requestor
+   slots, directory owner/sharers and message endpoints are remapped in
+   place, and order-normalized sections (sharers, channels, unordered
+   messages) are re-sorted.  The hot path (:meth:`StateCodec.relabel_via_tables`)
+   runs on per-permutation tables precomputed at first use — a lane-gather
+   index map for the fixed-width prefix plus value-translation arrays for
+   the two cache-ID lane shifts (:meth:`StateCodec.perm_tables`) — so a
+   relabel is a single-pass gather instead of a recursive tuple rebuild;
+   :meth:`StateCodec.relabel` keeps the original field-by-field construction
+   as the property-test oracle.
+
+The codec also carries the instrumentation the zero-decode invariant is
+asserted against: :attr:`StateCodec.decode_count` increments on every
+:meth:`decode`, and a compiled-kernel symmetry-reduced search must leave it
+flat outside failure reporting.
 
 Layout (lanes are ``array('H')`` by default; a protocol whose name catalogs
 or workload-bounded values exceed the 16-bit range automatically widens to
@@ -43,6 +54,7 @@ what the parallel search ships between processes.
 from __future__ import annotations
 
 from array import array
+from operator import itemgetter
 
 from repro.dsl.types import AccessKind
 from repro.system.message import (
@@ -50,6 +62,7 @@ from repro.system.message import (
     Message,
     decode_message,
     relabel_encoded_message,
+    translate_encoded_message,
 )
 from repro.system.network import Network, OrderedNetwork, UnorderedNetwork
 from repro.system.node_state import (
@@ -119,6 +132,30 @@ class StateCodec:
         self._dec_cache_memo: dict[tuple, CacheNodeState] = {}
         self._dec_dir_memo: dict[tuple, DirectoryNodeState] = {}
 
+        #: Decodes performed (instrumentation): a compiled-kernel reduced
+        #: search must not move this counter outside failure reporting.
+        self.decode_count = 0
+        #: Opaque per-codec scratch for engine-layer caches (e.g. the
+        #: canonicalizers of :mod:`repro.verification.engine.canonical`);
+        #: keyed here so their lifetime tracks the codec's.
+        self.engine_scratch: dict = {}
+        # Per-permutation gather/translation tables (see `perm_tables`) and
+        # the memoized relabel/parse/key caches the symmetry hot path runs
+        # on.  Network sections and directory blocks recur across huge
+        # numbers of states, so relabeled sections and tie-break keys are
+        # computed once per (section, permutation) pair.
+        self._perm_tables: dict[tuple[int, ...], tuple] = {}
+        self._saved_lanes: tuple[int, ...] = tuple(
+            cid * CACHE_ENCODED_WIDTH + _SAVED_OFFSET + slot
+            for cid in range(num_caches)
+            for slot in range(NUM_SAVED_SLOTS)
+        )
+        self._net_items_memo: dict[tuple, tuple] = {}
+        self._net_relabel_memo: dict[tuple, list] = {}
+        self._net_key_memo: dict[tuple, tuple] = {}
+        self._dir_key_memo: dict[tuple, tuple] = {}
+        self._suffix_memo: dict[tuple, list] = {}
+
     @classmethod
     def for_system(cls, system) -> "StateCodec":
         # The workload bounds the ghost data versions (one per store), which
@@ -165,6 +202,7 @@ class StateCodec:
 
     def decode(self, enc: tuple) -> GlobalState:
         """Exact inverse of :meth:`encode`."""
+        self.decode_count += 1
         width = self.cache_width
         caches = []
         for i in range(self.num_caches):
@@ -203,6 +241,124 @@ class StateCodec:
         return tuple(values)
 
     # -- relabeling --------------------------------------------------------------
+    def perm_tables(self, perm: tuple[int, ...]) -> tuple:
+        """``(gather, t1, t2)`` for *perm*, built once and cached.
+
+        * ``gather`` — an :func:`operator.itemgetter` over the cache-block
+          region: output lane ``j`` reads input lane ``gather_indices[j]``,
+          i.e. each cache block is fetched from the cache that lands on that
+          slot under *perm*.  Applying it is one C-level pass.
+        * ``t1`` — value-translation array for **+1-shifted** cache-ID lanes
+          (saved-requestor slots): ``t1[0] = 0`` (empty), ``t1[v] =
+          perm[v - 1] + 1``.
+        * ``t2`` — value-translation array for **+2-shifted** node-ID lanes
+          (directory owner/sharers, message src/dst/requestor): ``t2[0] = 0``
+          (absent), ``t2[1] = 1`` (the directory, a fixed point), ``t2[v] =
+          perm[v - 2] + 2``.
+        """
+        tables = self._perm_tables.get(perm)
+        if tables is None:
+            n = self.num_caches
+            width = self.cache_width
+            inverse = [0] * n
+            for old_id, new_id in enumerate(perm):
+                inverse[new_id] = old_id
+            indices: list[int] = []
+            for new_id in range(n):
+                base = inverse[new_id] * width
+                indices.extend(range(base, base + width))
+            t1 = (0, *(perm[v] + 1 for v in range(n)))
+            t2 = (0, 1, *(perm[v] + 2 for v in range(n)))
+            tables = (itemgetter(*indices), t1, t2)
+            self._perm_tables[perm] = tables
+        return tables
+
+    def relabel_via_tables(
+        self, enc: tuple, perm: tuple[int, ...], *, saved: bool = True
+    ) -> tuple:
+        """:meth:`relabel` on the precomputed :meth:`perm_tables` (hot path).
+
+        One gather over the fixed-width prefix, table lookups on the few
+        cache-ID lanes, and the two order-normalized runs re-sorted through
+        their memo tables (the directory block via
+        :meth:`relabeled_directory_key`, the network section per distinct
+        section).  Bit-identical to :meth:`relabel`, which is kept as the
+        property-test oracle.  Callers that already know no saved-requestor
+        slot is occupied (the signature-sort path proved it) pass
+        ``saved=False`` to skip the slot-translation pass.
+        """
+        gather, t1, t2 = self.perm_tables(perm)
+        out = list(gather(enc))
+        if saved:
+            for lane in self._saved_lanes:
+                value = out[lane]
+                if value:
+                    out[lane] = t1[value]
+        out.extend(self._relabeled_suffix(enc, perm, t2))
+        return tuple(out)
+
+    def _relabeled_suffix(
+        self, enc: tuple, perm: tuple[int, ...], t2: tuple[int, ...]
+    ) -> list[int]:
+        """Relabeled directory + version + network lanes, memoized as one unit.
+
+        The suffix past the cache blocks recurs across far more states than
+        it has distinct values, so one ``(suffix, perm)`` lookup replaces
+        separate directory-key and network-section memo probes on the
+        relabel hot path.  The returned list is shared — ``extend`` only.
+        """
+        key = (enc[self.dir_offset :], perm)
+        memo = self._suffix_memo
+        out = memo.get(key)
+        if out is not None:
+            return out
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        out = list(self.relabeled_directory_key(enc, perm))
+        out.append(enc[self.version_offset])
+        out.extend(self._relabeled_net_section_tables(enc, perm, t2))
+        memo[key] = out
+        return out
+
+    def _relabeled_net_section_tables(
+        self, enc: tuple, perm: tuple[int, ...], t2: tuple[int, ...]
+    ) -> list[int]:
+        """Relabeled flat network section, memoized per (section, perm).
+
+        Network sections recur across huge numbers of global states, so each
+        distinct section is translated and re-sorted once per permutation.
+        The returned list is shared — callers must only ``extend`` from it.
+        """
+        key = (enc[self.net_offset :], perm)
+        memo = self._net_relabel_memo
+        out = memo.get(key)
+        if out is not None:
+            return out
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        items = self.network_items(enc)
+        out = [len(items)]
+        if not self.ordered:
+            for record in sorted(translate_encoded_message(m, t2) for m in items):
+                out.extend(record)
+        else:
+            relabeled = [
+                (
+                    t2[src],
+                    t2[dst],
+                    vnet,
+                    tuple(translate_encoded_message(m, t2) for m in msgs),
+                )
+                for src, dst, vnet, msgs in items
+            ]
+            relabeled.sort(key=lambda item: item[:3])
+            for src, dst, vnet, msgs in relabeled:
+                out.extend((src, dst, vnet, len(msgs)))
+                for record in msgs:
+                    out.extend(record)
+        memo[key] = out
+        return out
+
     def relabel(self, enc: tuple, perm: tuple[int, ...]) -> tuple:
         """``encode(decode(enc).relabeled(perm))`` computed on the encoding."""
         width = self.cache_width
@@ -243,26 +399,58 @@ class StateCodec:
 
     # -- network section helpers --------------------------------------------------
     def network_items(self, enc: tuple):
-        """Parse the network section once for reuse across permutations.
+        """Parse the network section once per distinct section (memoized).
 
         Ordered networks yield ``[(src, dst, vnet, (msg record, ...)), ...]``
         (encoded node IDs, FIFO message order); unordered networks yield a
-        flat list of message records.
+        flat list of message records.  Sections recur across huge numbers of
+        global states, so the parse is cached keyed by the raw section; the
+        returned list is shared — callers must not mutate it.
         """
+        return self.parsed_network(enc)[0]
+
+    def parsed_network(self, enc: tuple):
+        """``(items, offsets)`` — the memoized parse handle of *enc*'s section.
+
+        *items* is what :meth:`network_items` returns; *offsets* maps each
+        item to its lanes: ``offsets[i]`` is the lane index of channel
+        (or record) *i* relative to ``net_offset`` (``offsets[0] == 1``,
+        past the count lane) and ``offsets[n]`` is the section length, so
+        item *i* occupies ``enc[net_offset + offsets[i] : net_offset +
+        offsets[i + 1]]``.  The kernel threads this handle from
+        ``enabled`` into ``apply``, where the network re-normalization
+        copies untouched channels as single slices through the offsets.
+        """
+        section = enc[self.net_offset :]
+        memo = self._net_items_memo
+        parsed = memo.get(section)
+        if parsed is not None:
+            return parsed
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
         pos = self.net_offset
         count = enc[pos]
         pos += 1
         mw = MESSAGE_ENCODED_WIDTH
         if not self.ordered:
-            return [enc[pos + i * mw : pos + (i + 1) * mw] for i in range(count)]
-        items = []
-        for _ in range(count):
-            src, dst, vnet, nmsgs = enc[pos : pos + 4]
-            pos += 4
-            msgs = tuple(enc[pos + i * mw : pos + (i + 1) * mw] for i in range(nmsgs))
-            pos += nmsgs * mw
-            items.append((src, dst, vnet, msgs))
-        return items
+            items = [enc[pos + i * mw : pos + (i + 1) * mw] for i in range(count)]
+            offsets = tuple(1 + i * mw for i in range(count + 1))
+        else:
+            items = []
+            offs = [1]
+            for _ in range(count):
+                src, dst, vnet, nmsgs = enc[pos : pos + 4]
+                pos += 4
+                msgs = tuple(
+                    enc[pos + i * mw : pos + (i + 1) * mw] for i in range(nmsgs)
+                )
+                pos += nmsgs * mw
+                items.append((src, dst, vnet, msgs))
+                offs.append(pos - self.net_offset)
+            offsets = tuple(offs)
+        parsed = (items, offsets)
+        memo[section] = parsed
+        return parsed
 
     def _relabeled_net_section(self, items, perm: tuple[int, ...]) -> list[int]:
         out = [len(items)]
@@ -304,35 +492,68 @@ class StateCodec:
         return False
 
     def relabeled_directory_key(self, enc: tuple, perm: tuple[int, ...]) -> tuple:
-        """Order-isomorphic to ``DirectoryNodeState.relabeled_sort_key(perm)``."""
-        return self._relabeled_dir_block(enc, perm)
+        """Order-isomorphic to ``DirectoryNodeState.relabeled_sort_key(perm)``.
 
-    def relabeled_network_key(self, items, perm: tuple[int, ...]) -> tuple:
+        Memoized per (directory block, perm): the tie-break stage of
+        canonicalization evaluates this once per candidate permutation, and
+        directory blocks recur across many states.
+        """
+        block = enc[self.dir_offset : self.version_offset]
+        key = (block, perm)
+        memo = self._dir_key_memo
+        result = memo.get(key)
+        if result is not None:
+            return result
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        t2 = self.perm_tables(perm)[2]
+        owner = block[1]
+        sharers = sorted(t2[s] for s in block[2:-1] if s != 0)
+        result = (
+            block[0],
+            t2[owner] if owner >= 2 else owner,
+            *sharers,
+            *((0,) * (self.num_caches - len(sharers))),
+            block[-1],
+        )
+        memo[key] = result
+        return result
+
+    def relabeled_network_key(self, enc: tuple, perm: tuple[int, ...]) -> tuple:
         """Order-isomorphic to ``Network.relabeled_sort_key(perm)``.
 
-        *items* is the output of :meth:`network_items`; the nested tuple
-        shape mirrors the object-level key exactly (channels sorted by their
-        relabeled channel key, message records compared field by field), so
-        minimizing over permutations picks the same winner.
+        The nested tuple shape mirrors the object-level key exactly
+        (channels sorted by their relabeled channel key, message records
+        compared field by field), so minimizing over permutations picks the
+        same winner.  Memoized per (network section, perm) — this is the
+        expensive final tie-break stage, and sections recur heavily.
         """
+        key = (enc[self.net_offset :], perm)
+        memo = self._net_key_memo
+        result = memo.get(key)
+        if result is not None:
+            return result
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        t2 = self.perm_tables(perm)[2]
+        items = self.network_items(enc)
         if not self.ordered:
-            return tuple(sorted(relabel_encoded_message(m, perm) for m in items))
-        return tuple(
-            sorted(
-                (
+            result = tuple(sorted(translate_encoded_message(m, t2) for m in items))
+        else:
+            result = tuple(
+                sorted(
                     (
                         (
-                            src if src - 2 < 0 else perm[src - 2] + 2,
-                            dst if dst - 2 < 0 else perm[dst - 2] + 2,
-                            vnet,
-                        ),
-                        tuple(relabel_encoded_message(m, perm) for m in msgs),
-                    )
-                    for src, dst, vnet, msgs in items
-                ),
-                key=lambda item: item[0],
+                            (t2[src], t2[dst], vnet),
+                            tuple(translate_encoded_message(m, t2) for m in msgs),
+                        )
+                        for src, dst, vnet, msgs in items
+                    ),
+                    key=lambda item: item[0],
+                )
             )
-        )
+        memo[key] = result
+        return result
 
     # -- events ------------------------------------------------------------------
     def encode_event(self, event: SystemEvent) -> tuple:

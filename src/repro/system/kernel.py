@@ -10,11 +10,19 @@ the transition relation down to operations on packed bit-vector states; the
 
 * the generated protocol is lowered once into integer-indexed dispatch
   tables (:func:`repro.core.fsm.compile_spec`);
+* at kernel construction every transition's opcode list is additionally
+  specialized into a flat generated function with its constants, lane
+  offsets and destination kinds burned in (:meth:`TransitionKernel._compile_cache_fn`
+  / :meth:`TransitionKernel._compile_directory_fn`), and plans carry their
+  bound apply handler so the search loop dispatches without a single
+  string comparison;
 * enabled-event enumeration, guard evaluation, successor construction,
   quiescence and the default invariants (SWMR, single-owner) then run
   directly on the flat int-tuple encoding of
   :class:`~repro.system.codec.StateCodec` -- no :class:`GlobalState`,
-  :class:`Message` or event object is ever materialized on the hot path.
+  :class:`Message` or event object is ever materialized on the hot path,
+  and network re-normalization copies untouched channels as single slices
+  of the parent encoding.
 
 The kernel is **exact by construction where it is fast, and delegating
 where it is not**: every successor it produces is bit-identical to
@@ -59,6 +67,7 @@ from repro.core.fsm import (
     CompilationUnsupported,
 )
 from repro.dsl.types import AccessKind
+from repro.system.message import MESSAGE_ENCODED_WIDTH
 from repro.system.node_state import CACHE_ENCODED_WIDTH, NUM_SAVED_SLOTS
 
 #: Offsets inside one encoded cache block (see ``CacheNodeState.encoded``).
@@ -78,6 +87,9 @@ AMBIGUOUS = object()
 #: Compiled invariant codes accepted by :meth:`TransitionKernel.check`.
 INV_SWMR = "swmr"
 INV_SINGLE_OWNER = "single_owner"
+
+#: The default invariant pair, fused into one pass by :meth:`TransitionKernel.check`.
+_DEFAULT_CODES = (INV_SWMR, INV_SINGLE_OWNER)
 
 
 class TransitionKernel:
@@ -122,24 +134,87 @@ class TransitionKernel:
         )
         self.ai_load = codec.access_kinds.index(AccessKind.LOAD)
         self.ai_store = codec.access_kinds.index(AccessKind.STORE)
+        def touches_sharers(ct) -> bool:
+            for op in ct.ops:
+                code = op[0]
+                if code in (OP_ADD_REQ_SHARER, OP_ADD_OWNER_SHARER,
+                            OP_RM_REQ_SHARER, OP_CLEAR_SHARERS):
+                    return True
+                if code == OP_DIR_SEND and (op[5] or op[3] == DEST_SHARERS):
+                    return True
+            return False
+
+        #: Per-transition specialized op functions (see
+        #: :meth:`_compile_cache_fn`); keyed by ``id(ct)`` -- the spec is
+        #: compiled fresh per kernel, so the transitions are kernel-owned.
+        self._cache_fns: dict[int, object] = {}
+        for row in spec.cache.on_access:
+            for ct in row:
+                if ct is not None and id(ct) not in self._cache_fns:
+                    self._cache_fns[id(ct)] = self._compile_cache_fn(ct)
+        for row in spec.cache.on_message:
+            for cands in row.values():
+                for ct in cands:
+                    if id(ct) not in self._cache_fns:
+                        self._cache_fns[id(ct)] = self._compile_cache_fn(ct)
+
+        #: Directory transitions that read or write the sharer set (ack
+        #: counts, sharer fan-out, add/remove/clear).  Every other directory
+        #: transition leaves the sharer run lanes untouched, so `apply`
+        #: skips the set build and the sorted writeback for them.
+        self._dir_sharer_cts = {
+            id(ct)
+            for row in spec.directory.on_message
+            for cands in row.values()
+            for ct in cands
+            if touches_sharers(ct)
+        }
+
+        #: Specialized directory-transition functions, keyed like
+        #: ``_cache_fns`` (see :meth:`_compile_directory_fn`).
+        self._dir_fns: dict[int, object] = {}
+        for row in spec.directory.on_message:
+            for cands in row.values():
+                for ct in cands:
+                    if id(ct) not in self._dir_fns:
+                        self._dir_fns[id(ct)] = self._compile_directory_fn(ct)
+
+        #: Per-state-index issuable ``(access_index, transition, op_fn)``
+        #: triples in workload order -- the access half of ``enabled()``
+        #: reduces to a table walk (stall/None filtering done once here, at
+        #: build time).
+        self._access_plans = tuple(
+            tuple(
+                (ai, row[ai], self._cache_fns[id(row[ai])])
+                for ai in self.access_order
+                if row[ai] is not None and not row[ai].stall
+            )
+            for row in self.spec.cache.on_access
+        )
 
     # -- event enumeration -------------------------------------------------------
-    def enabled(self, enc: tuple) -> tuple[list, list]:
+    def enabled(self, enc: tuple) -> tuple[list, tuple]:
         """``(plans, net)`` for *enc*: one plan per enabled event, in exactly
         the order :meth:`repro.system.System.enabled_events` yields them.
 
-        A plan is ``("a", eev, cache_id, ct)`` for an access or
-        ``("d", eev, record, ct, where)`` for a delivery, where ``eev`` is the
+        A plan is ``(handler, eev, cache_id, ct)`` for an access or
+        ``(handler, eev, record, ct, where)`` for a delivery -- ``handler``
+        is the bound apply specialization for that plan kind (so the hot
+        loop dispatches with zero string comparisons) -- where ``eev`` is the
         codec event encoding, ``ct`` the selected compiled transition
         (``None`` when no transition matches -- applying will error -- or
         :data:`AMBIGUOUS`), and ``where`` locates the delivered message in
-        *net* (channel index when ordered, record index when unordered).
-        *net* is ``codec.network_items(enc)``, parsed once per state.
+        the network (channel index when ordered, record index when
+        unordered).  *net* is the state's parsed-network handle — opaque to
+        callers, who only thread it back into :meth:`apply` (internally the
+        memoized ``(items, channel lane offsets)`` pair of the codec, parsed
+        once per distinct section).
         """
         plans: list = []
-        spec_cache = self.spec.cache
-        stable = spec_cache.stable
-        on_access = spec_cache.on_access
+        apply_access = self._apply_access_plan
+        apply_delivery = self._apply_delivery_plan
+        stable = self.spec.cache.stable
+        access_plans = self._access_plans
         width = CACHE_ENCODED_WIDTH
         max_accesses = self.max_accesses
         for cid in range(self.num_caches):
@@ -147,46 +222,60 @@ class TransitionKernel:
             if enc[base + CF_ISSUED] >= max_accesses:
                 continue
             si = enc[base]
-            if not stable[si]:
-                continue
-            row = on_access[si]
-            for ai in self.access_order:
-                ct = row[ai]
-                if ct is None or ct.stall:
-                    continue
-                plans.append(("a", (0, cid, ai), cid, ct))
-        net = self.codec.network_items(enc)
+            if stable[si]:
+                for ai, ct, fn in access_plans[si]:
+                    plans.append((apply_access, (0, cid, ai), cid, ct, fn))
+        net = self.codec.parsed_network(enc)
+        items = net[0]
+        # Delivery planning, inlined (one call per in-flight message adds up):
+        # pick the receiving controller's candidate row, resolve the unique
+        # unguarded candidate without the `_select` call, and drop stalled
+        # deliveries -- they are not enabled.
+        dir_rows = self.spec.directory.on_message
+        cache_rows = self.spec.cache.on_message
+        cache_fns = self._cache_fns
+        d0 = self.dir_offset
+        select = self._select
         if self.ordered:
-            for idx, channel in enumerate(net):
-                self._plan_delivery(plans, enc, channel[3][0], idx)
+            deliverable = enumerate(item[3][0] for item in items)
         else:
-            previous = None
-            for idx, rec in enumerate(net):
-                if rec == previous:
-                    # Identical in-flight messages lead to the same successor;
-                    # the object model de-duplicates them the same way.
-                    continue
-                previous = rec
-                self._plan_delivery(plans, enc, rec, idx)
+            def _deduped(records):
+                # Identical in-flight messages lead to the same successor;
+                # the object model de-duplicates them the same way.
+                previous = None
+                for idx, rec in enumerate(records):
+                    if rec != previous:
+                        previous = rec
+                        yield idx, rec
+            deliverable = _deduped(items)
+        for idx, rec in deliverable:
+            fn = None
+            if rec[2] == 1:  # destination is the directory (id -1, +2 shift)
+                cands = dir_rows[enc[d0]].get(rec[0])
+                base = None
+            else:
+                base = (rec[2] - 2) * width
+                cands = cache_rows[enc[base]].get(rec[0])
+            if cands:
+                if len(cands) == 1 and cands[0].guard == 0:
+                    ct = cands[0]
+                else:
+                    ct = select(cands, rec, enc, base)
+                if ct is not None and ct is not AMBIGUOUS:
+                    if ct.stall:
+                        continue  # stalled deliveries are not enabled
+                    if base is not None:
+                        fn = cache_fns[id(ct)]
+            else:
+                ct = None
+            plans.append((apply_delivery, (1,) + rec, rec, ct, idx, fn))
         return plans, net
-
-    def _plan_delivery(self, plans: list, enc: tuple, rec: tuple, where: int) -> None:
-        if rec[2] == 1:  # destination is the directory (id -1, +2 shift)
-            cands = self.spec.directory.on_message[enc[self.dir_offset]].get(rec[0])
-            ct = self._select(cands, rec, enc, None) if cands else None
-        else:
-            base = (rec[2] - 2) * CACHE_ENCODED_WIDTH
-            cands = self.spec.cache.on_message[enc[base]].get(rec[0])
-            ct = self._select(cands, rec, enc, base) if cands else None
-        if ct is not None and ct is not AMBIGUOUS and ct.stall:
-            return  # stalled deliveries are not enabled
-        plans.append(("d", (1,) + tuple(rec), rec, ct, where))
 
     def _select(self, cands: tuple, rec: tuple, enc: tuple, base: int | None):
         """Mirror of :func:`repro.system.executor.select_transition` over
-        encoded fields: evaluate guards, prefer a unique guarded match."""
-        if len(cands) == 1 and cands[0].guard == 0:
-            return cands[0]
+        encoded fields: evaluate guards, prefer a unique guarded match.
+        The caller (``enabled``) resolves the single-unguarded-candidate
+        case inline, so every *cands* seen here needs the full walk."""
         matching = []
         guarded = []
         for ct in cands:
@@ -227,216 +316,450 @@ class TransitionKernel:
         return is_sharer if g == 9 else not is_sharer
 
     # -- successor construction ---------------------------------------------------
-    def apply(self, enc: tuple, plan: tuple, net: list) -> tuple | None:
+    def apply(self, enc: tuple, plan: tuple, net: tuple) -> tuple | None:
         """The successor encoding for *plan*, or ``None`` for "take the slow
         path": decode and replay the one event through ``System.apply`` (it
         reproduces the exact error outcome, or in rare benign cases the
-        successor, at object speed)."""
-        if plan[0] == "a":
-            return self._apply_access(enc, plan[2], plan[1][2], plan[3], net)
+        successor, at object speed).
+
+        ``plan[0]`` *is* the bound apply handler (set by :meth:`enabled`),
+        so the per-transition hot loops may call ``plan[0](enc, plan, net)``
+        directly; this method is the equivalent stable entry point.
+        """
+        return plan[0](enc, plan, net)
+
+    def _apply_access_plan(self, enc: tuple, plan: tuple, net: tuple):
+        return self._apply_access(enc, plan[2], plan[1][2], plan[3], net, plan[4])
+
+    def _apply_delivery_plan(self, enc: tuple, plan: tuple, net: tuple):
         ct = plan[3]
         if ct is None or ct is AMBIGUOUS:
             return None  # unexpected message / ambiguous guards -> object error
         rec = plan[2]
         if rec[2] == 1:
             return self._apply_directory(enc, rec, ct, net, plan[4])
-        return self._apply_cache_delivery(enc, rec, ct, net, plan[4])
+        return self._apply_cache_delivery(enc, rec, ct, net, plan[4], plan[5])
 
-    def _apply_access(self, enc, cid, ai, ct, net):
+    def _apply_access(self, enc, cid, ai, ct, net, fn):
         out = list(enc[: self.net_offset])
         base = cid * CACHE_ENCODED_WIDTH
         out[base + CF_ISSUED] += 1
         out[base + CF_PENDING] = ai + 1
         sends: list = []
-        if not self._run_cache_ops(out, base, cid, None, ai, ct, sends):
+        if fn is not None and not fn(out, base, cid, None, ai, sends):
             return None
         out[base + CF_STATE] = ct.next_state
         if ct.has_perform:
             out[base + CF_PENDING] = 0
-        self._emit_net(out, net, None, sends)
+        self._emit_net(out, enc, net, None, sends)
         return tuple(out)
 
-    def _apply_cache_delivery(self, enc, rec, ct, net, where):
+    def _apply_cache_delivery(self, enc, rec, ct, net, where, fn):
         cid = rec[2] - 2
         out = list(enc[: self.net_offset])
         base = cid * CACHE_ENCODED_WIDTH
         pending = out[base + CF_PENDING]
         ai = pending - 1 if pending else None
         sends: list = []
-        if not self._run_cache_ops(out, base, cid, rec, ai, ct, sends):
+        if fn is not None and not fn(out, base, cid, rec, ai, sends):
             return None
         out[base + CF_STATE] = ct.next_state
         if ct.has_perform:
             out[base + CF_PENDING] = 0
-        self._emit_net(out, net, where, sends)
+        self._emit_net(out, enc, net, where, sends)
         return tuple(out)
 
-    def _run_cache_ops(self, out, base, cid, rec, ai, ct, sends) -> bool:
-        """Execute the cache opcode list in place; False -> slow path."""
+    def _compile_cache_fn(self, ct):
+        """Specialize one cache transition's opcode list into a flat function.
+
+        The opcode interpreter paid a dispatch chain per op per applied
+        transition; here every op's constants (message type, vnet,
+        destination kind, slot numbers, lane offsets) are burned into
+        generated straight-line source instead, executed once per kernel
+        construction.  ``fn(out, base, cid, rec, ai, sends) -> bool`` has
+        the exact interpreter semantics: mutate the cache block in place,
+        append encoded send records, and return False to route the event to
+        the object-executor slow path.  Returns ``None`` for an empty op
+        list (callers skip the call entirely).
+        """
+        if not ct.ops:
+            return None
         vo = self.version_offset
+        lines = ["def fn(out, base, cid, rec, ai, sends):"]
+        emit = lines.append
+        tmp = 0
         for op in ct.ops:
             code = op[0]
             if code == OP_SEND:
                 _, mt, vnet, dest, arg, from_slot, with_data = op
                 if dest == DEST_DIRECTORY:
-                    dst = 1
+                    dst = "1"
                 elif dest == DEST_REQUESTOR:
-                    if rec is None or not rec[4]:
-                        return False  # no requestor available
-                    dst = rec[5]
+                    emit(" if rec is None or not rec[4]:")
+                    emit("  return False  # no requestor available")
+                    dst = "rec[5]"
                 elif dest == DEST_SELF:
-                    dst = cid + 2
+                    dst = "cid + 2"
                 else:  # DEST_SAVED_SLOT
-                    slot = out[base + CF_SAVED + arg]
-                    if slot == 0:
-                        return False  # deferred response without saved requestor
-                    dst = slot + 1
+                    emit(f" s{tmp} = out[base + {CF_SAVED + arg}]")
+                    emit(f" if s{tmp} == 0:")
+                    emit("  return False  # deferred response without saved requestor")
+                    dst = f"s{tmp} + 1"
+                    tmp += 1
                 if from_slot is not None:
-                    slot = out[base + CF_SAVED + from_slot]
-                    if slot == 0:
-                        return False
-                    req = slot + 1
-                elif rec is not None and rec[4]:
-                    req = rec[5]
+                    emit(f" s{tmp} = out[base + {CF_SAVED + from_slot}]")
+                    emit(f" if s{tmp} == 0:")
+                    emit("  return False")
+                    req = f"s{tmp} + 1"
+                    tmp += 1
                 else:
-                    req = cid + 2
-                data = out[base + CF_DATA]
-                if with_data and data:
-                    sends.append((mt, cid + 2, dst, vnet, 1, req, 1, data + 1, 0, 0))
+                    emit(" req = rec[5] if rec is not None and rec[4] else cid + 2")
+                    req = "req"
+                head = f"({mt}, cid + 2, {dst}, {vnet}, 1, {req}"
+                if with_data:
+                    emit(f" data = out[base + {CF_DATA}]")
+                    emit(" if data:")
+                    emit(f"  sends.append({head}, 1, data + 1, 0, 0))")
+                    emit(" else:")
+                    emit(f"  sends.append({head}, 0, 0, 0, 0))")
                 else:
-                    sends.append((mt, cid + 2, dst, vnet, 1, req, 0, 0, 0, 0))
+                    emit(f" sends.append({head}, 0, 0, 0, 0))")
             elif code == OP_COPY_DATA:
-                if rec is None or not rec[6]:
-                    return False  # "expected data in <message>"
-                out[base + CF_DATA] = rec[7] - 1
+                emit(" if rec is None or not rec[6]:")
+                emit('  return False  # "expected data in <message>"')
+                emit(f" out[base + {CF_DATA}] = rec[7] - 1")
             elif code == OP_INVALIDATE_DATA:
-                out[base + CF_DATA] = 0
+                emit(f" out[base + {CF_DATA}] = 0")
             elif code == OP_SET_ACKS_FROM_MSG:
-                out[base + CF_ACKS_EXPECTED] = (
-                    rec[9] - 1 if rec is not None and rec[8] else 0
+                emit(
+                    f" out[base + {CF_ACKS_EXPECTED}] ="
+                    " rec[9] - 1 if rec is not None and rec[8] else 0"
                 )
             elif code == OP_INC_ACKS:
-                out[base + CF_ACKS_RECEIVED] += 1
+                emit(f" out[base + {CF_ACKS_RECEIVED}] += 1")
             elif code == OP_RESET_ACKS:
-                out[base + CF_ACKS_EXPECTED] = 0
-                out[base + CF_ACKS_RECEIVED] = 0
+                emit(f" out[base + {CF_ACKS_EXPECTED}] = 0")
+                emit(f" out[base + {CF_ACKS_RECEIVED}] = 0")
             elif code == OP_SAVE_REQUESTOR:
-                out[base + CF_SAVED + op[1]] = (
-                    rec[5] - 1 if rec is not None and rec[4] else 0
+                emit(
+                    f" out[base + {CF_SAVED + op[1]}] ="
+                    " rec[5] - 1 if rec is not None and rec[4] else 0"
                 )
             else:  # OP_PERFORM_ACCESS
-                if ai is None:
-                    continue  # nothing pending: a replayed hit is a no-op
-                if ai == self.ai_load:
-                    data = out[base + CF_DATA]
-                    if data == 0 or data < out[base + CF_LAST_OBSERVED]:
-                        return False  # load without data / went backwards
-                    out[base + CF_LAST_OBSERVED] = data
-                elif ai == self.ai_store:
-                    data = out[base + CF_DATA]
-                    if data == 0 or data - 1 != out[vo]:
-                        return False  # store without data / data-value violation
-                    version = out[vo] + 1
-                    out[vo] = version
-                    out[base + CF_DATA] = version + 1
-                    out[base + CF_LAST_OBSERVED] = version + 1
-                else:  # replacement: the block leaves the cache
-                    out[base + CF_DATA] = 0
-        return True
+                emit(" if ai is not None:")
+                emit(f"  if ai == {self.ai_load}:")
+                emit(f"   data = out[base + {CF_DATA}]")
+                emit(f"   if data == 0 or data < out[base + {CF_LAST_OBSERVED}]:")
+                emit("    return False  # load without data / went backwards")
+                emit(f"   out[base + {CF_LAST_OBSERVED}] = data")
+                emit(f"  elif ai == {self.ai_store}:")
+                emit(f"   data = out[base + {CF_DATA}]")
+                emit(f"   if data == 0 or data - 1 != out[{vo}]:")
+                emit("    return False  # store without data / data-value violation")
+                emit(f"   version = out[{vo}] + 1")
+                emit(f"   out[{vo}] = version")
+                emit(f"   out[base + {CF_DATA}] = version + 1")
+                emit(f"   out[base + {CF_LAST_OBSERVED}] = version + 1")
+                emit("  else:  # replacement: the block leaves the cache")
+                emit(f"   out[base + {CF_DATA}] = 0")
+        emit(" return True")
+        namespace: dict = {}
+        exec("\n".join(lines), namespace)  # noqa: S102 - trusted generated source
+        return namespace["fn"]
 
     def _apply_directory(self, enc, rec, ct, net, where):
         out = list(enc[: self.net_offset])
+        sends: list = []
+        if not self._dir_fns[id(ct)](out, rec, sends):
+            return None
+        self._emit_net(out, enc, net, where, sends)
+        return tuple(out)
+
+    def _compile_directory_fn(self, ct):
+        """Directory twin of :meth:`_compile_cache_fn`.
+
+        ``fn(out, rec, sends) -> bool`` runs the whole directory-side
+        mutation for one transition: lane offsets, destination kinds and
+        data/ack flags are burned in at generation time, the owner local and
+        the sharer set are materialized only when some op actually reads or
+        writes them, and the sorted sharer-run writeback happens only for
+        transitions that touch the set.  False routes to the object-executor
+        slow path, exactly like the interpreted loop it replaces.
+        """
         d0 = self.dir_offset
         n = self.num_caches
         mem_i = d0 + 2 + n
-        owner = out[d0 + 1]
-        sharers = {v for v in enc[d0 + 2 : mem_i] if v}
-        reqf, reqv = rec[4], rec[5]
-        sends: list = []
+        codes = [op[0] for op in ct.ops]
+        touches_sharers = id(ct) in self._dir_sharer_cts
+        uses_owner = any(
+            c in (OP_SET_OWNER_REQ, OP_CLEAR_OWNER, OP_ADD_OWNER_SHARER)
+            for c in codes
+        ) or any(
+            op[0] == OP_DIR_SEND and op[3] == DEST_OWNER for op in ct.ops
+        )
+        lines = ["def fn(out, rec, sends):"]
+        emit = lines.append
+        emit(" reqf = rec[4]")
+        emit(" reqv = rec[5]")
+        if uses_owner:
+            emit(f" owner = out[{d0 + 1}]")
+        if touches_sharers:
+            emit(f" sharers = {{v for v in out[{d0 + 2}:{mem_i}] if v}}")
         for op in ct.ops:
             code = op[0]
             if code == OP_DIR_SEND:
                 _, mt, vnet, dest, with_data, with_ack = op
                 if with_data:
-                    df, dv = 1, out[mem_i] + 2
+                    emit(f" dv = out[{mem_i}] + 2")
+                    df, dv = "1", "dv"
                 else:
-                    df, dv = 0, 0
+                    df, dv = "0", "0"
                 if with_ack:
-                    count = len(sharers) - (1 if reqf and reqv in sharers else 0)
-                    af, av = 1, count + 2
+                    emit(" av = len(sharers) - (1 if reqf and reqv in sharers else 0) + 2")
+                    af, av = "1", "av"
                 else:
-                    af, av = 0, 0
+                    af, av = "0", "0"
+                record_tail = f"{vnet}, reqf, reqv, {df}, {dv}, {af}, {av})"
                 if dest == DEST_REQUESTOR:
-                    if not reqf:
-                        return None  # "needs a requestor"
-                    targets = (reqv,)
+                    emit(" if not reqf:")
+                    emit('  return False  # "needs a requestor"')
+                    emit(f" sends.append(({mt}, 1, reqv, {record_tail})")
                 elif dest == DEST_OWNER:
-                    if owner == 0:
-                        return None  # "needs an owner"
-                    targets = (owner,)
+                    emit(" if owner == 0:")
+                    emit('  return False  # "needs an owner"')
+                    emit(f" sends.append(({mt}, 1, owner, {record_tail})")
                 else:  # DEST_SHARERS
-                    targets = sorted(
-                        s for s in sharers if not (reqf and s == reqv)
-                    )
-                for dst in targets:
-                    sends.append((mt, 1, dst, vnet, reqf, reqv, df, dv, af, av))
+                    emit(" for dst in sorted(s for s in sharers if not (reqf and s == reqv)):")
+                    emit(f"  sends.append(({mt}, 1, dst, {record_tail})")
             elif code == OP_WRITE_MEMORY:
-                if not rec[6]:
-                    return None  # "expected data in <message>"
-                out[mem_i] = rec[7] - 2
+                emit(" if not rec[6]:")
+                emit('  return False  # "expected data in <message>"')
+                emit(f" out[{mem_i}] = rec[7] - 2")
             elif code == OP_SET_OWNER_REQ:
-                owner = reqv if reqf else 0
+                emit(" owner = reqv if reqf else 0")
             elif code == OP_CLEAR_OWNER:
-                owner = 0
+                emit(" owner = 0")
             elif code == OP_ADD_REQ_SHARER:
-                if not reqf:
-                    return None  # object path would record a null sharer
-                sharers.add(reqv)
+                emit(" if not reqf:")
+                emit("  return False  # object path would record a null sharer")
+                emit(" sharers.add(reqv)")
             elif code == OP_ADD_OWNER_SHARER:
-                if owner:
-                    sharers.add(owner)
+                emit(" if owner:")
+                emit("  sharers.add(owner)")
             elif code == OP_RM_REQ_SHARER:
-                if reqf:
-                    sharers.discard(reqv)
+                emit(" if reqf:")
+                emit("  sharers.discard(reqv)")
             else:  # OP_CLEAR_SHARERS
-                sharers.clear()
-        out[d0] = ct.next_state
-        out[d0 + 1] = owner
-        run = sorted(sharers)
-        run.extend(0 for _ in range(n - len(run)))
-        out[d0 + 2 : mem_i] = run
-        self._emit_net(out, net, where, sends)
-        return tuple(out)
+                emit(" sharers.clear()")
+        emit(f" out[{d0}] = {ct.next_state}")
+        if uses_owner:
+            emit(f" out[{d0 + 1}] = owner")
+        if touches_sharers:
+            emit(" run = sorted(sharers)")
+            emit(f" run.extend(0 for _ in range({n} - len(run)))")
+            emit(f" out[{d0 + 2}:{mem_i}] = run")
+        emit(" return True")
+        namespace: dict = {}
+        exec("\n".join(lines), namespace)  # noqa: S102 - trusted generated source
+        return namespace["fn"]
 
-    def _emit_net(self, out: list, net: list, where: int | None, sends: list) -> None:
-        """Append the successor network section: *net* minus the delivered
-        message (channel/record index *where*) plus *sends*, re-normalized
-        exactly like ``Network.deliver`` + ``Network.send``."""
-        if self.ordered:
-            channels: dict = {}
-            for idx, (src, dst, vnet, msgs) in enumerate(net):
-                if idx == where:
-                    msgs = msgs[1:]
-                    if not msgs:
-                        continue
-                channels[(src, dst, vnet)] = list(msgs)
-            for m in sends:
-                channels.setdefault((m[1], m[2], m[3]), []).append(m)
-            out.append(len(channels))
-            for key in sorted(channels):
-                queue = channels[key]
-                out.extend(key)
-                out.append(len(queue))
-                for m in queue:
-                    out.extend(m)
-        else:
-            msgs = [m for i, m in enumerate(net) if i != where]
-            if sends:
-                msgs.extend(sends)
-                msgs.sort()
+    def _emit_net(
+        self, out: list, enc: tuple, net: tuple, where: int | None, sends: list
+    ) -> None:
+        """Append the successor network section: the parent's section minus
+        the delivered message (channel/record index *where*) plus *sends*,
+        re-normalized exactly like ``Network.deliver`` + ``Network.send``.
+
+        The parent section is already normalized (channels sorted, FIFO
+        order inside each), so the successor section is a sorted merge with
+        at most a couple of touched channels, built from *enc* slices: a
+        transition with no sends and no delivery copies the section
+        verbatim, a pure absorption splices out one message record (and its
+        channel header, if emptied), and sends rebuild only the channels
+        they touch -- every untouched channel is one slice copy through the
+        per-section channel offsets of *net* (the parse handle built by
+        :meth:`enabled`).
+        """
+        no = self.net_offset
+        if not sends and where is None:
+            out.extend(enc[no:])
+            return
+        items, offsets = net
+        mw = MESSAGE_ENCODED_WIDTH
+        if not self.ordered:
+            if not sends:
+                at = no + 1 + where * mw
+                out.append(enc[no] - 1)
+                out.extend(enc[no + 1 : at])
+                out.extend(enc[at + mw :])
+                return
+            msgs = [m for i, m in enumerate(items) if i != where]
+            msgs.extend(sends)
+            msgs.sort()
             out.append(len(msgs))
             for m in msgs:
                 out.extend(m)
+            return
+        if not sends:
+            # Drop the head of channel `where` by lane splicing alone.
+            at = no + offsets[where]
+            nmsgs = enc[at + 3]
+            if nmsgs == 1:
+                out.append(enc[no] - 1)
+                out.extend(enc[no + 1 : at])
+            else:
+                out.append(enc[no])
+                out.extend(enc[no + 1 : at + 3])
+                out.append(nmsgs - 1)
+            out.extend(enc[at + 4 + mw :])
+            return
+        if len(sends) == 1:
+            self._emit_net_single(out, enc, items, offsets, where, sends[0])
+            return
+        send_map: dict = {}
+        for m in sends:
+            key = (m[1], m[2], m[3])
+            queue = send_map.get(key)
+            if queue is None:
+                send_map[key] = [m]
+            else:
+                queue.append(m)
+        emptied = where is not None and len(items[where][3]) == 1
+        pending = []
+        for key in send_map:
+            for idx, item in enumerate(items):
+                if (
+                    item[0] == key[0]
+                    and item[1] == key[1]
+                    and item[2] == key[2]
+                    and not (emptied and idx == where)
+                ):
+                    break
+            else:
+                pending.append(key)
+        pending.sort()
+        flush_at = len(pending)
+        out.append(len(items) - (1 if emptied else 0) + flush_at)
+        flushed = 0
+        for idx, item in enumerate(items):
+            if flushed < flush_at:
+                key = item[:3]
+                while flushed < flush_at and pending[flushed] < key:
+                    fresh = pending[flushed]
+                    queue = send_map[fresh]
+                    out.extend(fresh)
+                    out.append(len(queue))
+                    for m in queue:
+                        out.extend(m)
+                    flushed += 1
+            if idx == where and emptied:
+                # Removed; if a send re-opens this key the merge above (or
+                # the tail flush) emits it at the same sorted position.
+                continue
+            extra = send_map.get(item[:3])
+            if extra is None:
+                if idx != where:
+                    out.extend(enc[no + offsets[idx] : no + offsets[idx + 1]])
+                    continue
+                msgs = item[3][1:]
+            elif idx == where:
+                msgs = item[3][1:] + tuple(extra)
+            else:
+                msgs = item[3] + tuple(extra)
+            out.extend((item[0], item[1], item[2], len(msgs)))
+            for m in msgs:
+                out.extend(m)
+        while flushed < flush_at:
+            fresh = pending[flushed]
+            queue = send_map[fresh]
+            out.extend(fresh)
+            out.append(len(queue))
+            for m in queue:
+                out.extend(m)
+            flushed += 1
+
+    def _emit_net_single(
+        self, out: list, enc: tuple, items: list, offsets: tuple,
+        where: int | None, m: tuple,
+    ) -> None:
+        """One-send ordered specialization of :meth:`_emit_net`.
+
+        The vast majority of sending transitions emit exactly one message,
+        and a single send plus (at most) one absorbed head touch at most two
+        channels of an already-sorted section -- so the successor section is
+        the parent's lanes with one or two local edits, emitted as slice
+        copies around them.  Bit-identical to the general merge.
+        """
+        no = self.net_offset
+        mw = MESSAGE_ENCODED_WIDTH
+        k0, k1, k2 = m[1], m[2], m[3]
+        nchan = enc[no]
+        emptied = False
+        if where is not None:
+            at_w = no + offsets[where]
+            emptied = enc[at_w + 3] == 1
+        # Locate the send's channel: a match to append into, or the first
+        # channel whose key sorts above (the insertion point).  The emptied
+        # channel is no match -- re-opening its key recreates the channel in
+        # place, which the combined edit below handles.
+        target = insert_before = None
+        for idx in range(len(items)):
+            at = no + offsets[idx]
+            c0, c1, c2 = enc[at], enc[at + 1], enc[at + 2]
+            if c0 < k0 or (c0 == k0 and (c1 < k1 or (c1 == k1 and c2 <= k2))):
+                if c0 == k0 and c1 == k1 and c2 == k2 and not (
+                    emptied and idx == where
+                ):
+                    target = idx
+                    break
+                continue
+            insert_before = idx
+            break
+        edits: list[tuple] = []  # (abs_start, skip_lanes, replacement)
+        #: The delivery edit is folded into the send edit when both touch
+        #: the same channel; only an unhandled `where` takes the standalone
+        #: head-removal edit below.
+        where_handled = where is None
+        if target is not None:
+            at_t = no + offsets[target]
+            if target == where:
+                # Head absorbed, send appended: the count is unchanged.
+                edits.append((at_t + 4, mw, ()))
+                edits.append((no + offsets[target + 1], 0, m))
+                where_handled = True
+            else:
+                edits.append((at_t + 3, 1, (enc[at_t + 3] + 1,)))
+                edits.append((no + offsets[target + 1], 0, m))
+        else:
+            if emptied and enc[at_w] == k0 and enc[at_w + 1] == k1 and enc[at_w + 2] == k2:
+                # Re-opened in place: the old single message becomes `m`,
+                # the channel (and the count) survives.
+                edits.append((at_w + 4, mw, m))
+                where_handled = True
+            else:
+                at_i = (
+                    no + offsets[insert_before]
+                    if insert_before is not None
+                    else len(enc)
+                )
+                edits.append((at_i, 0, (k0, k1, k2, 1) + m))
+                nchan += 1
+        if not where_handled:
+            if emptied:
+                edits.append((at_w, 4 + mw, ()))
+                nchan -= 1
+            else:
+                edits.append((at_w + 3, 1 + mw, (enc[at_w + 3] - 1,)))
+        # Plain tuple sort: same-position edits order by skip width, which
+        # puts an insertion (skip 0) before a removal at the same lane.
+        edits.sort()
+        out.append(nchan)
+        pos = no + 1
+        for start, skip, replacement in edits:
+            out.extend(enc[pos:start])
+            out.extend(replacement)
+            pos = start + skip
+        out.extend(enc[pos:])
 
     # -- predicates and invariants --------------------------------------------------
     def is_quiescent(self, enc: tuple) -> bool:
@@ -463,12 +786,26 @@ class TransitionKernel:
 
         On a False return the caller decodes the state and re-runs the object
         invariants to build the exact violation report -- verdicts are a
-        function of the state alone, so the slow path reproduces them.
+        function of the state alone, so the slow path reproduces them.  The
+        default pair (SWMR + single-owner) runs as one fused pass over the
+        cache state lanes.
         """
         permission = self.spec.cache.permission
         stable = self.spec.cache.stable
         width = CACHE_ENCODED_WIDTH
         n = self.num_caches
+        if codes == _DEFAULT_CODES:
+            writers = readers = stable_writers = 0
+            for cid in range(n):
+                si = enc[cid * width]
+                p = permission[si]
+                if p == 2:
+                    writers += 1
+                    if stable[si]:
+                        stable_writers += 1
+                elif p == 1:
+                    readers += 1
+            return not (writers > 1 or (writers and readers) or stable_writers > 1)
         for code in codes:
             if code == INV_SWMR:
                 writers = readers = 0

@@ -93,6 +93,27 @@ def relabel_encoded_message(fields: tuple, perm: tuple[int, ...]) -> tuple:
     )
 
 
+def translate_encoded_message(fields: tuple, table: tuple[int, ...]) -> tuple:
+    """:func:`relabel_encoded_message` through a precomputed +2-shift table.
+
+    *table* maps every encoded node-ID lane value to its relabeled value
+    (``table[0] = 0`` for the absent-requestor placeholder, ``table[1] = 1``
+    for the directory, ``table[v] = perm[v - 2] + 2`` for caches — see
+    :meth:`repro.system.codec.StateCodec.perm_tables`), so the branchy
+    per-value arithmetic of :func:`relabel_encoded_message` collapses into
+    three lookups.  Both entry points produce bit-identical records.
+    """
+    return (
+        fields[0],
+        table[fields[1]],
+        table[fields[2]],
+        fields[3],
+        fields[4],
+        table[fields[5]],
+        *fields[6:],
+    )
+
+
 @dataclass(frozen=True)
 class Message:
     """One coherence message in flight.

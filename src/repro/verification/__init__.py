@@ -23,6 +23,7 @@ from repro.verification.engine import (
     VerificationResult,
     canonicalize,
     canonicalize_bruteforce,
+    canonicalize_bruteforce_encoded,
     canonicalize_encoded,
     relabel_event,
     verify,
@@ -48,6 +49,7 @@ __all__ = [
     "VerificationResult",
     "canonicalize",
     "canonicalize_bruteforce",
+    "canonicalize_bruteforce_encoded",
     "canonicalize_encoded",
     "default_invariants",
     "random_walk",

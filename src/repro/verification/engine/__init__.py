@@ -22,6 +22,7 @@ from repro.verification.engine.canonical import (
     Permutation,
     canonicalize,
     canonicalize_bruteforce,
+    canonicalize_bruteforce_encoded,
     canonicalize_encoded,
     compose,
     identity_permutation,
@@ -49,6 +50,7 @@ __all__ = [
     "VerificationResult",
     "canonicalize",
     "canonicalize_bruteforce",
+    "canonicalize_bruteforce_encoded",
     "canonicalize_encoded",
     "compose",
     "identity_permutation",

@@ -25,6 +25,7 @@ initial state.
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -69,6 +70,18 @@ class VerificationResult:
     #: Which transition backend expanded states: "compiled" (the lowered
     #: table kernel over encoded states) or "object" (the dataclass executor).
     kernel: str = "object"
+    #: Measured search breakdown, so bottleneck claims come from numbers
+    #: instead of inference: ``kernel`` / ``strategy`` (the backends that
+    #: ran), ``decode_count`` (``GlobalState`` decodes across the search,
+    #: worker processes included -- 0 for a passing compiled-kernel search,
+    #: reduced or not), ``canonicalization_seconds`` (CPU seconds inside
+    #: symmetry canonicalization; summed across workers for the parallel
+    #: strategy) and ``expansion_seconds`` (everything else: successor
+    #: generation, interning, invariant checks).  For multi-process
+    #: searches the worker CPU sum is not comparable against the parent's
+    #: wall-clock, so ``expansion_seconds`` is ``None`` there instead of a
+    #: bogus subtraction.
+    stats: dict = field(default_factory=dict)
 
     @property
     def partial(self) -> bool:
@@ -145,6 +158,18 @@ class Exploration:
         self.transitions = 0
         self.complete_states = 0
         self.truncated = False
+        #: Wall-clock spent inside canonicalization (strategies accumulate;
+        #: workers report their share per batch).
+        self.canon_seconds = 0.0
+        #: ``GlobalState`` decodes reported back by worker processes (their
+        #: codecs are private copies, so the parent counter cannot see them).
+        self.worker_decodes = 0
+        #: Worker-process count of a multi-process search, 0 when the
+        #: search ran in this process (drives the stats time-split shape).
+        self.parallel_workers = 0
+        # Decode baseline: the codec is cached per system, so its counter
+        # carries history from earlier searches; stats report the delta.
+        self._decode_base = self.codec.decode_count
         self.root: tuple[int, GlobalState] | None = None
         #: Packed encoding of the (canonical) root, for strategies that ship
         #: encoded frontiers instead of state objects.
@@ -215,15 +240,34 @@ class Exploration:
 
     # -- result constructors -----------------------------------------------------
     def _result(self, ok: bool, **kwargs) -> VerificationResult:
+        elapsed = time.perf_counter() - self.start
+        kernel = "compiled" if self.kernel is not None else "object"
+        stats = {
+            "kernel": kernel,
+            "strategy": self.strategy_name,
+            "decode_count": (
+                self.codec.decode_count - self._decode_base + self.worker_decodes
+            ),
+            "canonicalization_seconds": round(self.canon_seconds, 6),
+            # Worker canonicalization time is CPU summed across processes;
+            # subtracting it from this process's wall-clock would fabricate
+            # a split, so multi-process searches report no expansion figure.
+            "expansion_seconds": (
+                None
+                if self.parallel_workers
+                else round(max(0.0, elapsed - self.canon_seconds), 6)
+            ),
+        }
         return VerificationResult(
             ok=ok,
             states_explored=self.explored,
             transitions_explored=self.transitions,
-            elapsed_seconds=time.perf_counter() - self.start,
+            elapsed_seconds=elapsed,
             complete_states=self.complete_states,
             symmetry_reduced=self.perms is not None,
             strategy=self.strategy_name,
-            kernel="compiled" if self.kernel is not None else "object",
+            kernel=kernel,
+            stats=stats,
             **kwargs,
         )
 
@@ -404,4 +448,14 @@ def verify(
     early = ctx.seed()
     if early is not None:
         return early
-    return strat.run(ctx)
+    # The search allocates millions of short-lived, cycle-free tuples and
+    # byte strings; generational GC scans buy nothing there and cost ~10 %
+    # of the wall-clock, so collection pauses while the search runs.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return strat.run(ctx)
+    finally:
+        if gc_was_enabled:
+            gc.enable()

@@ -15,10 +15,12 @@ Three strategies are provided:
   receives records whose successors and events are encoded too -- no pickled
   object graphs ever cross the process boundary.  Workers keep a persistent
   per-shard seen-set, so a canonical state rediscovered in any later level
-  is suppressed at the source instead of being re-shipped; the parent
-  de-duplicates the survivors into the shared store and builds the next
-  frontier, which keeps counterexample traces working exactly as in the
-  serial strategies.  Falls back to serial BFS when ``fork`` is unavailable
+  is suppressed at the source instead of being re-shipped; successors
+  arrive canonicalized, packed and pre-deduped, so the parent's absorb
+  loop is one batch intern per expanded state
+  (:meth:`~repro.verification.engine.store.StateStore.intern_children`,
+  violations out-of-band), which keeps counterexample traces working
+  exactly as in the serial strategies.  Falls back to serial BFS when ``fork`` is unavailable
   or fewer than two workers are requested.  Around the ``max_states`` bound
   the explored-state count may differ from the serial strategies by up to
   one frontier level (the bound is enforced per level, not per state).
@@ -42,11 +44,21 @@ identically-shaped results.
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
 import os
 from collections import deque
+from time import perf_counter
 
-from repro.verification.engine.canonical import canonicalize_encoded
+from repro.verification.engine.canonical import canonicalizer_for
+
+#: Bound on the raw-successor dedup sets of the symmetry-reduced searches: a
+#: raw successor reached twice maps to the same canonical representative, so
+#: its second occurrence can skip canonicalize/pack/intern entirely (~38 % of
+#: transitions on the reference MSI workload).  The set is an optimization
+#: only -- clearing it when full merely re-pays the canonicalization, so the
+#: bound caps memory without affecting any count or verdict.
+_RAW_SEEN_LIMIT = 1 << 19
 
 # -- worker-process state (populated via fork + Pool initializer) --------------
 
@@ -62,8 +74,21 @@ def _init_worker(system, invariants, perms, kernel_codes) -> None:
     by address-space inheritance, never by pickling.
     """
     global _WORKER
+    # Workers inherit the parent's paused GC via fork only on the first
+    # level; disabling here keeps collection off for the pool's lifetime
+    # (the expansion hot path allocates cycle-free data exclusively).
+    gc.disable()
     kernel = system.kernel() if kernel_codes is not None else None
-    _WORKER = (system, invariants, perms, system.codec(), set(), kernel, kernel_codes)
+    _WORKER = (
+        system,
+        invariants,
+        perms,
+        system.codec(),
+        set(),  # canonical packed keys this worker has emitted
+        kernel,
+        kernel_codes,
+        set(),  # raw successor encodings (pre-canonicalization dedup)
+    )
 
 
 def _leaf_record(sid, quiescent, stuck):
@@ -73,16 +98,21 @@ def _leaf_record(sid, quiescent, stuck):
 def _expand_batch(batch):
     """Expand a batch of ``(state_id, packed_encoding)`` pairs in a worker.
 
-    Returns one record per state, in input order:
+    Returns ``(records, canon_seconds, decode_count)`` — the records (one
+    per state, in input order), the wall-clock this batch spent inside
+    canonicalization, and the number of ``GlobalState`` decodes it performed
+    (both feed ``VerificationResult.stats``).  Records are:
 
     * ``("leaf", sid, quiescent, stuck)`` -- no enabled events; ``stuck``
       flags a quiescent state that still holds unissued workload budget
       (the ``deadlock=True`` report);
-    * ``("exp", sid, applied, succs, err)`` -- ``succs`` is a list of
-      ``(encoded_event, packed_successor, perm, violation)`` and ``err`` is
-      ``None`` or ``(encoded_event, error_message)`` for an event whose
-      application failed (expansion of that state stops there, as in the
-      serial search).
+    * ``("exp", sid, applied, succs, err, vio)`` -- ``succs`` is a list of
+      pre-interned-at-the-source ``(encoded_event, packed_successor, perm)``
+      triples ready for the parent's batch intern, ``err`` is ``None`` or
+      ``(encoded_event, error_message)`` for an event whose application
+      failed (expansion of that state stops there, as in the serial
+      search), and ``vio`` is ``None`` or ``(index, violation)`` naming the
+      first successor in ``succs`` that violates an invariant.
 
     De-duplication is persistent per worker: the seen-set carries over
     between levels, so a canonical state this worker has emitted in *any*
@@ -94,8 +124,13 @@ def _expand_batch(batch):
     """
     if _WORKER[5] is not None:
         return _expand_batch_compiled(batch)
-    system, invariants, perms, codec, seen, _, _ = _WORKER
+    system, invariants, perms, codec, seen, _, _, raw_seen = _WORKER
     identity = perms[0] if perms is not None else None
+    canonicalize = (
+        canonicalizer_for(codec, perms).canonicalize if perms is not None else None
+    )
+    decode_base = codec.decode_count
+    canon_seconds = 0.0
     decode_packed = codec.decode_packed
     encode = codec.encode
     pack = codec.pack
@@ -111,6 +146,7 @@ def _expand_batch(batch):
             continue
         succs = []
         err = None
+        vio = None
         applied = 0
         for event in events:
             applied += 1
@@ -120,25 +156,39 @@ def _expand_batch(batch):
                 break
             enc = encode(outcome.state)
             perm = None
-            if perms is not None:
-                enc, perm = canonicalize_encoded(enc, codec, perms, outcome.state)
+            if canonicalize is not None:
+                # set.add + length check = one hash: a no-growth add means
+                # this raw successor was canonicalized (and emitted or
+                # suppressed) before.
+                grown = len(raw_seen) + 1
+                raw_seen.add(enc)
+                if len(raw_seen) != grown:
+                    continue
+                if grown >= _RAW_SEEN_LIMIT:
+                    raw_seen.clear()
+                start = perf_counter()
+                enc, perm = canonicalize(enc)
+                canon_seconds += perf_counter() - start
             successor_key = pack(enc)
             if successor_key in seen:
                 # Invariants are functions of the state alone, so the first
                 # emission already carried this state's verdict.
                 continue
             seen.add(successor_key)
-            successor = (
-                outcome.state if perm is None or perm == identity else codec.decode(enc)
-            )
-            violation = None
-            for invariant in invariants:
-                violation = invariant(system, successor)
-                if violation is not None:
-                    break
-            succs.append((encode_event(event), successor_key, perm, violation))
-        records.append(("exp", sid, applied, succs, err))
-    return records
+            if vio is None:
+                successor = (
+                    outcome.state
+                    if perm is None or perm == identity
+                    else codec.decode(enc)
+                )
+                for invariant in invariants:
+                    violation = invariant(system, successor)
+                    if violation is not None:
+                        vio = (len(succs), violation)
+                        break
+            succs.append((encode_event(event), successor_key, perm))
+        records.append(("exp", sid, applied, succs, err, vio))
+    return records, canon_seconds, codec.decode_count - decode_base
 
 
 def _slow_outcome(system, codec, enc, eev):
@@ -154,7 +204,12 @@ def _slow_outcome(system, codec, enc, eev):
 
 def _expand_batch_compiled(batch):
     """Compiled-kernel twin of :func:`_expand_batch`: states stay encoded."""
-    system, invariants, perms, codec, seen, kernel, codes = _WORKER
+    system, invariants, perms, codec, seen, kernel, codes, raw_seen = _WORKER
+    canonicalize = (
+        canonicalizer_for(codec, perms).canonicalize if perms is not None else None
+    )
+    decode_base = codec.decode_count
+    canon_seconds = 0.0
     unpack = codec.unpack
     pack = codec.pack
     records = []
@@ -168,11 +223,12 @@ def _expand_batch_compiled(batch):
             continue
         succs = []
         err = None
+        vio = None
         applied = 0
         for plan in plans:
             applied += 1
             eev = plan[1]
-            succ = kernel.apply(enc, plan, net)
+            succ = plan[0](enc, plan, net)
             if succ is None:
                 outcome = _slow_outcome(system, codec, enc, eev)
                 if outcome.error is not None:
@@ -180,22 +236,31 @@ def _expand_batch_compiled(batch):
                     break
                 succ = codec.encode(outcome.state)
             perm = None
-            if perms is not None:
-                succ, perm = canonicalize_encoded(succ, codec, perms)
+            if canonicalize is not None:
+                grown = len(raw_seen) + 1
+                raw_seen.add(succ)
+                if len(raw_seen) != grown:
+                    # Canonicalized (and emitted or suppressed) before.
+                    continue
+                if grown >= _RAW_SEEN_LIMIT:
+                    raw_seen.clear()
+                start = perf_counter()
+                succ, perm = canonicalize(succ)
+                canon_seconds += perf_counter() - start
             successor_key = pack(succ)
             if successor_key in seen:
                 continue
             seen.add(successor_key)
-            violation = None
-            if not kernel.check(succ, codes):
+            if vio is None and not kernel.check(succ, codes):
                 successor = codec.decode(succ)
                 for invariant in invariants:
                     violation = invariant(system, successor)
                     if violation is not None:
+                        vio = (len(succs), violation)
                         break
-            succs.append((eev, successor_key, perm, violation))
-        records.append(("exp", sid, applied, succs, err))
-    return records
+            succs.append((eev, successor_key, perm))
+        records.append(("exp", sid, applied, succs, err, vio))
+    return records, canon_seconds, codec.decode_count - decode_base
 
 
 # -- strategies ----------------------------------------------------------------
@@ -231,6 +296,10 @@ def _run_serial_object(ctx, *, lifo: bool):
     store = ctx.store
     perms = ctx.perms
     identity = perms[0] if perms is not None else None
+    canonicalize = (
+        canonicalizer_for(codec, perms).canonicalize if perms is not None else None
+    )
+    raw_seen: set | None = set() if canonicalize is not None else None
     encode = codec.encode
     pack = codec.pack
     frontier: deque = deque([ctx.root])
@@ -263,9 +332,20 @@ def _run_serial_object(ctx, *, lifo: bool):
             successor = outcome.state
             enc = encode(successor)
             perm = None
-            if perms is not None:
-                enc, perm = canonicalize_encoded(enc, codec, perms, successor)
-            new_id, is_new = store.intern(pack(enc), parent=sid, event=event, perm=perm)
+            if canonicalize is not None:
+                # A raw successor seen before canonicalized to an interned
+                # representative then, so everything below would no-op (the
+                # add + length check costs a single tuple hash).
+                grown = len(raw_seen) + 1
+                raw_seen.add(enc)
+                if len(raw_seen) != grown:
+                    continue
+                if grown >= _RAW_SEEN_LIMIT:
+                    raw_seen.clear()
+                start = perf_counter()
+                enc, perm = canonicalize(enc)
+                ctx.canon_seconds += perf_counter() - start
+            new_id, is_new = store.intern(pack(enc), sid, event, perm)
             if not is_new:
                 continue
             if perm is not None and perm != identity:
@@ -280,17 +360,22 @@ def _run_serial_object(ctx, *, lifo: bool):
 
 def _run_serial_compiled(ctx, *, lifo: bool):
     """Compiled-kernel serial search: the frontier and the visited set both
-    hold encodings; nothing decodes until a failure is reported."""
+    hold encodings; nothing decodes until a failure is reported (asserted by
+    the codec's ``decode_count`` instrumentation)."""
     system = ctx.system
     codec = ctx.codec
     store = ctx.store
     perms = ctx.perms
     kernel = ctx.kernel
     codes = ctx.kernel_codes
+    canonicalize = (
+        canonicalizer_for(codec, perms).canonicalize if perms is not None else None
+    )
+    raw_seen: set | None = set() if canonicalize is not None else None
+    timer = perf_counter
     pack = codec.pack
     intern = store.intern
     enabled = kernel.enabled
-    apply_plan = kernel.apply
     check = kernel.check
     frontier: deque = deque([(ctx.root[0], ctx.root_enc)])
     pop = frontier.pop if lifo else frontier.popleft
@@ -312,7 +397,7 @@ def _run_serial_compiled(ctx, *, lifo: bool):
             continue
         for plan in plans:
             ctx.transitions += 1
-            succ = apply_plan(enc, plan, net)
+            succ = plan[0](enc, plan, net)
             if succ is None:
                 outcome = _slow_outcome(system, codec, enc, plan[1])
                 if outcome.error is not None:
@@ -323,9 +408,20 @@ def _run_serial_compiled(ctx, *, lifo: bool):
                     )
                 succ = codec.encode(outcome.state)
             perm = None
-            if perms is not None:
-                succ, perm = canonicalize_encoded(succ, codec, perms)
-            new_id, is_new = intern(pack(succ), parent=sid, event=plan[1], perm=perm)
+            if canonicalize is not None:
+                # A raw successor seen before canonicalized to an interned
+                # representative then, so everything below would no-op (the
+                # add + length check costs a single tuple hash).
+                grown = len(raw_seen) + 1
+                raw_seen.add(succ)
+                if len(raw_seen) != grown:
+                    continue
+                if grown >= _RAW_SEEN_LIMIT:
+                    raw_seen.clear()
+                start = timer()
+                succ, perm = canonicalize(succ)
+                ctx.canon_seconds += timer() - start
+            new_id, is_new = intern(pack(succ), sid, plan[1], perm)
             if not is_new:
                 continue
             if not check(succ, codes):
@@ -371,6 +467,7 @@ class ParallelBreadthFirst(SearchStrategy):
 
         root_id, _ = ctx.root
         frontier = [(root_id, ctx.root_key)]
+        ctx.parallel_workers = processes
         with mp.Pool(
             processes,
             initializer=_init_worker,
@@ -390,7 +487,11 @@ class ParallelBreadthFirst(SearchStrategy):
                 ]
                 ctx.explored += len(frontier)
                 next_frontier = []
-                for records in pool.map(_expand_batch, batches):
+                for records, canon_seconds, decodes in pool.map(
+                    _expand_batch, batches
+                ):
+                    ctx.canon_seconds += canon_seconds
+                    ctx.worker_decodes += decodes
                     for record in records:
                         failure = self._absorb(ctx, record, next_frontier)
                         if failure is not None:
@@ -407,7 +508,15 @@ class ParallelBreadthFirst(SearchStrategy):
 
     @staticmethod
     def _absorb(ctx, record, next_frontier):
-        """Merge one worker record into the store; return a failure result or None."""
+        """Merge one worker record into the store; return a failure result or None.
+
+        Workers already canonicalize, pack and de-duplicate successors at
+        the source, so on the overwhelmingly common no-failure path the
+        parent's only remaining work is the batch intern
+        (:meth:`~repro.verification.engine.store.StateStore.intern_children`)
+        -- violations ride out-of-band in the record and fall back to the
+        per-successor loop only when one actually occurred.
+        """
         if record[0] == "leaf":
             _, sid, quiescent, stuck = record
             if quiescent:
@@ -418,22 +527,24 @@ class ParallelBreadthFirst(SearchStrategy):
             if ctx.check_deadlock:
                 return ctx.failure(deadlock=True, leaf_id=sid)
             return None
-        _, sid, applied, succs, err = record
+        _, sid, applied, succs, err, vio = record
         ctx.transitions += applied
-        for encoded_event, successor_key, perm, violation in succs:
-            # Events are stored in their encoded form; counterexample traces
-            # decode them lazily (Exploration.trace_events), on failure only.
-            new_id, is_new = ctx.store.intern(
+        if vio is not None:
+            # The worker checks invariants before cross-worker dedup; a hit
+            # on an already-known state is still a valid counterexample (the
+            # stored chain reaches the same canonical state).  Successors
+            # past the violating one are dropped, exactly as the pre-batch
+            # absorb loop did.
+            index, violation = vio
+            next_frontier.extend(ctx.store.intern_children(sid, succs[:index]))
+            encoded_event, successor_key, perm = succs[index]
+            leaf_id, _ = ctx.store.intern(
                 successor_key, parent=sid, event=encoded_event, perm=perm
             )
-            if violation is not None:
-                # The worker checks invariants before cross-worker dedup; a
-                # hit on an already-known state is still a valid
-                # counterexample (the stored chain reaches the same canonical
-                # state).
-                return ctx.failure(violation=violation, leaf_id=new_id)
-            if is_new:
-                next_frontier.append((new_id, successor_key))
+            return ctx.failure(violation=violation, leaf_id=leaf_id)
+        # Events are stored in their encoded form; counterexample traces
+        # decode them lazily (Exploration.trace_events), on failure only.
+        next_frontier.extend(ctx.store.intern_children(sid, succs))
         if err is not None:
             encoded_event, message = err
             return ctx.failure(

@@ -66,7 +66,6 @@ class StateStore:
     def intern(
         self,
         state: object,
-        *,
         parent: int = NO_PARENT,
         event: SystemEvent | None = None,
         perm: Permutation | None = None,
@@ -75,8 +74,10 @@ class StateStore:
 
         *state* is any hashable key -- the packed codec encoding on the
         search hot path, or a :class:`GlobalState` in object-keyed use.
+        The link arguments may be passed positionally (the serial search
+        interns once per transition; keyword binding is measurable there).
         """
-        key = self._key(state)
+        key = self._key(state) if self.hash_compaction else state
         existing = self._ids.get(key)
         if existing is not None:
             return existing, False
@@ -86,6 +87,36 @@ class StateStore:
         self._event.append(event)
         self._perm.append(perm)
         return new_id, True
+
+    def intern_children(
+        self, parent: int, children
+    ) -> list[tuple[int, object]]:
+        """Batch :meth:`intern` of ``(event, key, perm)`` triples from one parent.
+
+        The parallel search's absorb loop is per-successor work the parent
+        does serially; batching it into one call with the hot lookups bound
+        to locals keeps the parent thin while workers expand the next
+        shards.  Returns ``[(id, key), ...]`` for the genuinely new keys, in
+        input order -- exactly the pairs the next frontier needs.  Already
+        known keys record nothing, like :meth:`intern`.
+        """
+        ids = self._ids
+        parents = self._parent
+        events = self._event
+        perms = self._perm
+        compact = self.hash_compaction
+        out: list[tuple[int, object]] = []
+        for event, key, perm in children:
+            lookup = self._key(key) if compact else key
+            if lookup in ids:
+                continue
+            new_id = len(parents)
+            ids[lookup] = new_id
+            parents.append(parent)
+            events.append(event)
+            perms.append(perm)
+            out.append((new_id, key))
+        return out
 
     def link(self, state_id: int) -> tuple[int, SystemEvent | None, Permutation | None]:
         """The ``(parent_id, event, perm)`` triple recorded for *state_id*."""

@@ -21,8 +21,14 @@ import pytest
 
 from repro import protocols
 from repro.core import GenerationConfig, generate
+from repro.dsl.types import AccessKind
 from repro.system import System, Workload
-from repro.verification import canonicalize, canonicalize_encoded
+from repro.verification import (
+    canonicalize,
+    canonicalize_bruteforce,
+    canonicalize_bruteforce_encoded,
+    canonicalize_encoded,
+)
 from repro.verification.engine.canonical import invert
 
 from verification_helpers import sample_reachable_states
@@ -79,6 +85,39 @@ class TestRoundTrip:
             for perm in perms:
                 assert codec.relabel(enc, perm) == codec.encode(state.relabeled(perm))
                 assert codec.relabel(codec.relabel(enc, perm), invert(perm)) == enc
+
+    def test_relabel_via_tables_matches_the_oracle(self, sampled_by_protocol, name):
+        """The gather-table relabel must be bit-identical to the
+        field-by-field :meth:`StateCodec.relabel` (kept as the oracle) on
+        every sampled state and every permutation — including the
+        saved-requestor states whose slots hold cache IDs."""
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        perms = system.symmetry_permutations()
+        for state in states[:120]:
+            enc = codec.encode(state)
+            for perm in perms:
+                assert codec.relabel_via_tables(enc, perm) == codec.relabel(enc, perm)
+
+    def test_relabel_via_tables_saved_free_shortcut(self, sampled_by_protocol, name):
+        """``saved=False`` (the signature-sort path's shortcut) is only
+        valid on states without occupied saved slots; pin that it agrees
+        with the oracle exactly there."""
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        perms = system.symmetry_permutations()
+        checked = 0
+        for state in states[:120]:
+            enc = codec.encode(state)
+            if codec.has_saved_ids(enc):
+                continue
+            for perm in perms:
+                assert (
+                    codec.relabel_via_tables(enc, perm, saved=False)
+                    == codec.relabel(enc, perm)
+                )
+            checked += 1
+        assert checked > 0
 
     def test_event_codec_round_trips(self, sampled_by_protocol, name):
         system, states = sampled_by_protocol[name]
@@ -137,6 +176,101 @@ class TestEncodedCanonicalAgreement:
             again, perm = canonicalize_encoded(rep_enc, codec, perms)
             assert again == rep_enc
             assert perm == perms[0]
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+class TestEncodedBruteforceOracleAgreement:
+    """:func:`canonicalize_bruteforce_encoded` vs the object-level oracle.
+
+    The encoded brute force is what keeps saved-requestor states (and
+    caller-restricted permutation sets) on the int lanes; the object-level
+    :func:`canonicalize_bruteforce` is demoted to a differential-test oracle
+    here — the two must agree on the representative *and* the witness
+    permutation, bit for bit, on every sampled state.
+    """
+
+    def test_exact_agreement_with_object_bruteforce(self, sampled_by_protocol, name):
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        perms = system.symmetry_permutations()
+        for state in states:
+            rep_obj, perm_obj = canonicalize_bruteforce(state, perms)
+            rep_enc, perm_enc = canonicalize_bruteforce_encoded(
+                codec.encode(state), codec, perms
+            )
+            assert perm_enc == perm_obj
+            assert rep_enc == codec.encode(rep_obj)
+
+    def test_agreement_on_restricted_permutation_sets(self, sampled_by_protocol, name):
+        """A non-full permutation group (no signature-sort argument) must
+        route both pipelines through the same enumeration and winner."""
+        system, states = sampled_by_protocol[name]
+        codec = system.codec()
+        full = system.symmetry_permutations()
+        restricted = (full[0], full[-1])
+        for state in states[:60]:
+            rep_obj, perm_obj = canonicalize_bruteforce(state, restricted)
+            rep_enc, perm_enc = canonicalize_bruteforce_encoded(
+                codec.encode(state), codec, restricted
+            )
+            assert perm_enc == perm_obj
+            assert rep_enc == codec.encode(rep_obj)
+            via_encoded = canonicalize_encoded(codec.encode(state), codec, restricted)
+            assert via_encoded == (rep_enc, perm_enc)
+
+
+def test_mosi_saved_requestor_states_agree_on_all_pipelines(all_generated):
+    """MOSI nonstalling reaches deferred-send states whose saved slots hold
+    cache IDs (the owner-recall `requestor_from_slot` stamping): the exact
+    states that used to decode into the object brute force.  Pin all three
+    encoded entry points against the object oracles on them."""
+    system = System(all_generated[("MOSI", "nonstalling")], num_caches=3,
+                    workload=Workload(max_accesses_per_cache=2))
+    codec = system.codec()
+    perms = system.symmetry_permutations()
+    states = sample_reachable_states(system, seed=29, walks=10, max_steps=60)
+    with_saved = [s for s in states if codec.has_saved_ids(codec.encode(s))]
+    assert with_saved, "sampling never reached a saved-requestor state"
+    for state in with_saved:
+        enc = codec.encode(state)
+        rep_obj, perm_obj = canonicalize_bruteforce(state, perms)
+        assert canonicalize(state, perms) == (rep_obj, perm_obj)
+        for rep_enc, perm_enc in (
+            canonicalize_bruteforce_encoded(enc, codec, perms),
+            canonicalize_encoded(enc, codec, perms),
+        ):
+            assert perm_enc == perm_obj
+            assert rep_enc == codec.encode(rep_obj)
+
+
+def test_msi_unordered_late_absorb_states_agree_on_all_pipelines(all_generated):
+    """MSI-Unordered nonstalling reaches the late-absorb redirect states of
+    the PR 2 fix (IM_AD_I and friends); their unordered network sections are
+    the largest relabel surfaces, so pin the encoded brute force and the
+    table relabel against the object oracles through them."""
+    system = System(
+        all_generated[("MSI-Unordered", "nonstalling")], num_caches=3,
+        workload=Workload(max_accesses_per_cache=2,
+                          access_kinds=(AccessKind.LOAD, AccessKind.STORE)),
+    )
+    codec = system.codec()
+    perms = system.symmetry_permutations()
+    states = sample_reachable_states(system, seed=43, walks=10, max_steps=60)
+    absorb_states = {"IM_AD_I", "IM_AD_SI", "IM_A_I", "IM_A_SI", "SM_AD_I",
+                     "SM_A_I", "IS_D_I"}
+    touched = [
+        s for s in states
+        if any(cache.fsm_state in absorb_states for cache in s.caches)
+    ]
+    assert touched, "sampling never reached a late-absorb state"
+    for state in touched:
+        enc = codec.encode(state)
+        rep_obj, perm_obj = canonicalize_bruteforce(state, perms)
+        rep_enc, perm_enc = canonicalize_bruteforce_encoded(enc, codec, perms)
+        assert perm_enc == perm_obj
+        assert rep_enc == codec.encode(rep_obj)
+        for perm in perms:
+            assert codec.relabel_via_tables(enc, perm) == codec.relabel(enc, perm)
 
 
 class _NameTable:

@@ -232,3 +232,77 @@ class TestRandomWalkCoverage:
                         workload=Workload(max_accesses_per_cache=1))
         result = random_walk(system, runs=3, max_steps=50, seed=1)
         assert result.ok and result.unique_states == 0
+
+
+class TestSearchStats:
+    """`VerificationResult.stats`: measured time split and decode counting.
+
+    The compiled kernel's reduced hot path is specified to be *fully
+    encoded*: outside failure reporting, no `GlobalState` is ever decoded —
+    asserted here via the codec's `decode_count` instrumentation rather than
+    inferred from code reading.
+    """
+
+    def test_compiled_reduced_search_performs_zero_decodes(self, msi_stalling):
+        system = System(msi_stalling, num_caches=3,
+                        workload=Workload(max_accesses_per_cache=1))
+        codec = system.codec()
+        before = codec.decode_count
+        result = verify(system, symmetry=True)
+        assert result.ok and result.kernel == "compiled" and result.symmetry_reduced
+        assert codec.decode_count == before, (
+            "the reduced compiled-kernel search decoded a GlobalState on a "
+            "passing run"
+        )
+        assert result.stats["decode_count"] == 0
+
+    def test_compiled_full_search_performs_zero_decodes(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        codec = system.codec()
+        before = codec.decode_count
+        result = verify(system)
+        assert result.ok and result.kernel == "compiled"
+        assert codec.decode_count == before
+        assert result.stats["decode_count"] == 0
+
+    def test_stats_fields_and_time_split(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, symmetry=True)
+        stats = result.stats
+        assert stats["kernel"] == result.kernel
+        assert stats["strategy"] == result.strategy
+        assert stats["canonicalization_seconds"] > 0.0
+        assert stats["expansion_seconds"] >= 0.0
+        assert (
+            stats["canonicalization_seconds"] + stats["expansion_seconds"]
+            <= result.elapsed_seconds + 1e-6
+        )
+
+    def test_full_search_reports_no_canonicalization_time(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system)
+        assert result.stats["canonicalization_seconds"] == 0.0
+
+    def test_object_backend_counts_its_decodes(self, msi_nonstalling):
+        """The object backend decodes by design (the differential baseline);
+        its stats must say so rather than pretend otherwise."""
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, symmetry=True, kernel="object")
+        assert result.kernel == "object"
+        assert result.stats["decode_count"] > 0
+
+    def test_parallel_search_aggregates_worker_stats(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, symmetry=True, strategy="parallel", processes=2)
+        if result.strategy != "parallel":  # fork unavailable: serial fallback
+            pytest.skip("parallel strategy unavailable on this platform")
+        assert result.stats["decode_count"] == 0
+        assert result.stats["canonicalization_seconds"] > 0.0
+        # Worker canonicalization time is CPU summed across processes --
+        # not comparable to the parent's wall-clock, so no expansion figure.
+        assert result.stats["expansion_seconds"] is None

@@ -24,6 +24,7 @@ from repro import protocols
 from repro.core import GenerationConfig, generate
 from repro.dsl.types import AccessKind
 from repro.system import System, Workload
+from repro.system.network import OrderedNetwork
 from repro.verification import default_invariants, verify
 from repro.verification.invariants import compiled_invariant_codes
 
@@ -224,3 +225,104 @@ class TestFallbackContract:
         system = System(msi_nonstalling, num_caches=2)
         with pytest.raises(ValueError):
             verify(system, kernel="jit")
+
+
+class TestEmitNetDifferential:
+    """The kernel's slice-spliced network re-normalization vs the object model.
+
+    `_emit_net` (and its one-send specialization) rebuild the successor
+    network section from lane edits on the parent encoding; the oracle is
+    `Network.deliver` + `Network.send` followed by `encoded()`.  The
+    randomized sweep plus the pinned corner cases cover the edit
+    interactions — in particular a send re-opening the very channel its
+    delivery just emptied, which a first version of the one-send path
+    corrupted (count lane decremented to zero with the record left behind).
+    """
+
+    @pytest.fixture(scope="class")
+    def msi_system(self, all_generated):
+        return System(all_generated[("MSI", "stalling")], num_caches=3,
+                      workload=Workload(max_accesses_per_cache=2))
+
+    def _assert_matches_oracle(self, system, network, where, send_msgs):
+        from repro.system.node_state import CacheNodeState, DirectoryNodeState
+        from repro.system.system import GlobalState
+
+        codec = system.codec()
+        kernel = system.kernel()
+        state = GlobalState(
+            caches=tuple(
+                CacheNodeState(fsm_state=system.protocol.cache.initial_state)
+                for _ in range(system.num_caches)
+            ),
+            directory=DirectoryNodeState(
+                fsm_state=system.protocol.directory.initial_state
+            ),
+            network=network,
+        )
+        enc = codec.encode(state)
+        net = codec.parsed_network(enc)
+        expected_net = network
+        if where is not None:
+            expected_net = expected_net.deliver(network.deliverable()[where])
+        expected_net = expected_net.send(*send_msgs)
+        expected = enc[: codec.net_offset] + expected_net.encoded(
+            codec._mtype_index
+        )
+        out = list(enc[: codec.net_offset])
+        sends = [msg.encoded(codec._mtype_index) for msg in send_msgs]
+        kernel._emit_net(out, enc, net, where, sends)
+        assert tuple(out) == expected, (
+            f"where={where}, sends={send_msgs}, network={network}"
+        )
+
+    def test_send_reopens_the_channel_its_delivery_emptied(self, msi_system):
+        """Deliver the only message of a channel and emit one send with the
+        same (src, dst, vnet) key: the channel must survive with count 1 and
+        the new record — the corruption class the fuzz sweep caught."""
+        from repro.system.message import Message
+
+        mtype = msi_system.codec().mtypes[0]
+        old = Message(mtype=mtype, src=0, dst=0, vnet=1)
+        new = Message(mtype=mtype, src=0, dst=0, vnet=1, data=1)
+        network = OrderedNetwork().send(old)
+        self._assert_matches_oracle(msi_system, network, 0, [new])
+
+    def test_randomized_against_the_object_network(self, msi_system):
+        import random
+
+        from repro.system.message import Message
+
+        rng = random.Random(20260731)
+        codec = msi_system.codec()
+        mtypes = codec.mtypes
+        nodes = [-1, 0, 1, 2]
+        for _ in range(1500):
+            network = OrderedNetwork()
+            for _ in range(rng.randrange(0, 5)):
+                network = network.send(Message(
+                    mtype=rng.choice(mtypes),
+                    src=rng.choice(nodes), dst=rng.choice(nodes),
+                    vnet=rng.randrange(2),
+                    requestor=rng.choice([None, -1, 0, 1, 2]),
+                    data=rng.choice([None, 1, 2]),
+                    ack_count=rng.choice([None, 0, 2]),
+                ))
+            deliverable = network.deliverable()
+            where = (
+                rng.randrange(len(deliverable))
+                if deliverable and rng.random() < 0.7
+                else None
+            )
+            sends = [
+                Message(
+                    mtype=rng.choice(mtypes),
+                    src=rng.choice(nodes), dst=rng.choice(nodes),
+                    vnet=rng.randrange(2),
+                    data=rng.choice([None, 1]),
+                )
+                for _ in range(rng.randrange(0, 3))
+            ]
+            if where is None and not sends:
+                continue
+            self._assert_matches_oracle(msi_system, network, where, sends)
