@@ -32,7 +32,7 @@ from bench_reporting import baseline_states_per_second, record_run, results_path
 
 from repro import protocols
 from repro.core import GenerationConfig, generate
-from repro.system import System, Workload
+from repro.system import FaultModel, System, Workload
 from repro.verification import verify
 
 
@@ -59,6 +59,21 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["compiled", "object"],
                         help="transition backend: the compiled encoded-state "
                              "kernel (default) or the object executor")
+    parser.add_argument("--faults", default="off",
+                        choices=["off", "duplicate", "reorder", "both"],
+                        help="fault-injection axes: message duplication, "
+                             "bounded adjacent reordering (ordered networks), "
+                             "or both")
+    parser.add_argument("--fault-budget", type=int, default=1,
+                        help="total injected faults allowed per execution")
+    parser.add_argument("--addresses", type=int, default=1,
+                        help="independent address planes the workload "
+                             "interleaves (symmetry must be off for >1)")
+    parser.add_argument("--expect", default="pass", choices=["pass", "fail"],
+                        help="expected verdict: 'fail' flips the exit logic "
+                             "for bug-finding smokes (the bundled protocols "
+                             "demonstrably break under duplication), skipping "
+                             "the throughput gates")
     parser.add_argument("--compare-kernels", action="store_true",
                         help="run the same search once per kernel, record "
                              "both, and fail unless the compiled kernel's "
@@ -79,8 +94,17 @@ def main(argv: list[str] | None = None) -> int:
         else GenerationConfig.nonstalling()
     )
     generated = generate(protocols.load(args.protocol), config)
+    faults = None
+    if args.faults != "off":
+        faults = FaultModel(
+            duplicate=args.faults in ("duplicate", "both"),
+            reorder=args.faults in ("reorder", "both"),
+            budget=args.fault_budget,
+        )
     system = System(generated, num_caches=args.caches,
-                    workload=Workload(max_accesses_per_cache=args.accesses))
+                    workload=Workload(max_accesses_per_cache=args.accesses),
+                    num_addresses=args.addresses if args.addresses > 1 else None,
+                    faults=faults)
 
     def run(kernel: str):
         bench_id = args.bench_id + (f"-{kernel}" if args.compare_kernels else "")
@@ -102,6 +126,11 @@ def main(argv: list[str] | None = None) -> int:
             protocol=args.protocol, config=args.config,
             num_caches=args.caches, accesses=args.accesses,
             symmetry=symmetry, processes=args.processes,
+            extra={
+                "faults": args.faults,
+                "fault_budget": args.fault_budget if faults else None,
+                "addresses": args.addresses,
+            },
         )
         stats = result.stats
         print(f"{args.protocol}/{args.config} {args.caches}c x {args.accesses}a "
@@ -138,6 +167,16 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.compare_kernels:
         result, entry, baseline = run(args.kernel)
+        if args.expect == "fail":
+            # Bug-finding smoke: the run succeeds when the search finds the
+            # documented fault-induced failure (throughput gates don't apply
+            # to a search that stops at its counterexample).
+            if result.ok:
+                print("FAIL: expected the fault-injected search to find the "
+                      "documented failure, but it passed")
+                return 1
+            print("expected fault-induced failure found")
+            return 0
         if not result.ok:
             return 1
         return 1 if regressed(entry, baseline) else 0

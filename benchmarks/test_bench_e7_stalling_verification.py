@@ -125,16 +125,18 @@ def test_stalling_msi_four_caches_full_budgeted_nightly(generated):
     """Nightly 4-cache x 2-access *full* (unreduced) MSI exploration.
 
     The compiled kernel put multi-million-state unreduced searches within
-    reach of the nightly tier; this run walks the first two million states
-    of the 4c x 2a space under a ``max_states`` budget (the clean
-    partial-result abort) and records throughput **and peak memory** to
+    reach of the nightly tier; this run covers the complete 4c x 2a space --
+    measured at **24 579 648 states / 80 091 260 transitions** (~25 min at
+    ~17 k states/s, 14.5 GB peak RSS on the reference container), 23.4x the
+    reduced space's 1 052 239 canonical states, right at the 4! = 24 orbit
+    bound -- and records throughput **and peak memory** to
     ``BENCH_results.json``, so the scaling trajectory of the encoded core is
-    tracked by numbers rather than anecdotes.  A budgeted partial PASS means
-    "no violation in the explored prefix" -- the reduced 4c x 2a search
-    (324 400 canonical states, exercised in the 4-cache tier) is the one
-    with full coverage.
+    tracked by numbers rather than anecdotes.  The ``max_states`` budget is
+    head-room above the known size: it keeps the clean partial-abort path as
+    the backstop if the space ever grows, while the assertions below demand
+    full coverage and the exact count.
     """
-    budget = 2_000_000
+    budget = 30_000_000
     protocol = generated[("MSI", "stalling")]
     system = System(protocol, num_caches=4,
                     workload=Workload(max_accesses_per_cache=2))
@@ -162,7 +164,9 @@ def test_stalling_msi_four_caches_full_budgeted_nightly(generated):
 
     assert result.ok
     assert result.kernel == "compiled"
-    # The 4c x 2a full space is larger than the budget, so the abort must
-    # trigger exactly at it; if the space ever fits, partial flips False and
-    # this pin should be revisited (and the reduced count cross-checked).
-    assert result.partial and result.states_explored == budget
+    # The budget is head-room: the search must finish the space and land on
+    # the measured count (cross-checked against the reduced 1 052 239-state
+    # search: 23.4x, within the 4! orbit bound).
+    assert not result.partial
+    assert result.states_explored == 24_579_648
+    assert result.transitions_explored == 80_091_260

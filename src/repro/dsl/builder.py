@@ -147,9 +147,13 @@ class _TransactionBuilder:
             )
         # Multiple completion states (e.g. MESI I->S or I->E): the transaction's
         # nominal final state is the one with the *least* permission, which is
-        # the conservative choice for permission assignment.
+        # the conservative choice for permission assignment.  Permission ties
+        # (MESI's S/E are both read-only here) break toward the name sorting
+        # last, matching the primer's IS_D naming — `finals` is a set, so an
+        # unordered min() would leave the choice to hash randomization.
         parent_states = self._parent._states
-        return min(finals, key=lambda name: parent_states[name].permission)
+        return min(sorted(finals, reverse=True),
+                   key=lambda name: parent_states[name].permission)
 
 
 class _TriggerBuilder:

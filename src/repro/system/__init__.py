@@ -8,8 +8,12 @@ from repro.system.node_state import CacheNodeState, DirectoryNodeState
 from repro.system.executor import Observation, ProtocolRuntimeError
 from repro.system.system import (
     DeliverMessage,
+    DuplicateMessage,
+    FaultModel,
     GlobalState,
     IssueAccess,
+    LitmusWorkload,
+    ReorderMessage,
     StepOutcome,
     System,
     SystemEvent,
@@ -21,13 +25,17 @@ __all__ = [
     "CacheNodeState",
     "DeliverMessage",
     "DirectoryNodeState",
+    "DuplicateMessage",
+    "FaultModel",
     "GlobalState",
     "IssueAccess",
+    "LitmusWorkload",
     "Message",
     "Network",
     "Observation",
     "OrderedNetwork",
     "ProtocolRuntimeError",
+    "ReorderMessage",
     "StateCodec",
     "StepOutcome",
     "System",

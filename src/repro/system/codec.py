@@ -49,6 +49,17 @@ with fixed-width cache/directory blocks (:data:`~repro.system.node_state.CACHE_E
 are :data:`~repro.system.message.MESSAGE_ENCODED_WIDTH` ints).  The packed
 ``bytes`` form (:meth:`StateCodec.pack`) is what the visited set keys on and
 what the parallel search ships between processes.
+
+Multi-address systems repeat the fixed-width part once per address plane
+(``plane_stride`` lanes each) and append one network section per plane;
+fault-model systems insert a single ``faults_used`` lane between the fixed
+planes and the network sections::
+
+    [plane 0 fixed | plane 1 fixed | ... | faults_used? |
+     net section 0 | net section 1 | ...]
+
+A single-address, no-fault codec degenerates to exactly the original
+layout, so every historical encoding (and pinned state count) is unchanged.
 """
 
 from __future__ import annotations
@@ -73,7 +84,14 @@ from repro.system.node_state import (
     decode_cache_block,
     decode_directory_block,
 )
-from repro.system.system import DeliverMessage, GlobalState, IssueAccess, SystemEvent
+from repro.system.system import (
+    DeliverMessage,
+    DuplicateMessage,
+    GlobalState,
+    IssueAccess,
+    ReorderMessage,
+    SystemEvent,
+)
 
 #: First saved-requestor slot inside a cache block.
 _SAVED_OFFSET = 5
@@ -86,8 +104,11 @@ class StateCodec:
     """Bidirectional ``GlobalState`` <-> flat-int-tuple <-> ``bytes`` codec."""
 
     def __init__(self, protocol, num_caches: int, *, ordered: bool,
-                 value_bound: int = 0):
+                 value_bound: int = 0, num_addresses: int = 1,
+                 faults: bool = False):
         self.num_caches = num_caches
+        self.num_addresses = num_addresses
+        self.faults = faults
         self.ordered = ordered
         self.cache_states: tuple[str, ...] = tuple(sorted(protocol.cache.state_names()))
         self.dir_states: tuple[str, ...] = tuple(sorted(protocol.directory.state_names()))
@@ -116,11 +137,17 @@ class StateCodec:
                 raise ValueError("protocol too large for the 32-bit state encoding")
         self.lane_bytes = array(self.typecode).itemsize
 
+        # Plane-0 offsets (for A == 1 these are also the absolute offsets;
+        # plane *a*'s lanes sit at the same offsets plus ``a * plane_stride``).
         self.cache_width = CACHE_ENCODED_WIDTH
         self.dir_offset = num_caches * CACHE_ENCODED_WIDTH
         self.dir_width = 3 + num_caches
         self.version_offset = self.dir_offset + self.dir_width
-        self.net_offset = self.version_offset + 1
+        #: Fixed lanes per address plane (cache blocks + directory + version).
+        self.plane_stride = self.version_offset + 1
+        #: Absolute lane of the ``faults_used`` counter (None without faults).
+        self.fault_offset = num_addresses * self.plane_stride if faults else None
+        self.net_offset = num_addresses * self.plane_stride + (1 if faults else 0)
 
         # Sub-object memo tables: node states, networks and messages recur
         # across huge numbers of global states, so encoding each distinct
@@ -155,79 +182,131 @@ class StateCodec:
         self._net_key_memo: dict[tuple, tuple] = {}
         self._dir_key_memo: dict[tuple, tuple] = {}
         self._suffix_memo: dict[tuple, list] = {}
+        self._planes_memo: dict[tuple, tuple] = {}
 
     @classmethod
     def for_system(cls, system) -> "StateCodec":
         # The workload bounds the ghost data versions (one per store), which
         # bounds every data-carrying field for the lane-width selection.
-        workload = system.workload
         return cls(
             system.protocol,
             system.num_caches,
             ordered=system.ordered,
-            value_bound=system.num_caches * workload.max_accesses_per_cache + 1,
+            value_bound=system.value_bound(),
+            num_addresses=system.num_addresses,
+            faults=system.faults is not None,
         )
 
     # -- encoding ----------------------------------------------------------------
-    def encode(self, state: GlobalState) -> tuple:
-        """Flat int-tuple encoding of *state* (bijective; see module docs)."""
-        out: list[int] = []
-        cache_memo = self._cache_memo
-        for cache in state.caches:
-            block = cache_memo.get(cache)
-            if block is None:
-                if len(cache_memo) >= _MEMO_LIMIT:
-                    cache_memo.clear()
-                block = cache.encoded(self._cache_index, self._access_index)
-                cache_memo[cache] = block
-            out.extend(block)
-        directory = state.directory
+    def _encode_cache(self, cache: CacheNodeState) -> tuple:
+        block = self._cache_memo.get(cache)
+        if block is None:
+            if len(self._cache_memo) >= _MEMO_LIMIT:
+                self._cache_memo.clear()
+            block = cache.encoded(self._cache_index, self._access_index)
+            self._cache_memo[cache] = block
+        return block
+
+    def _encode_dir(self, directory: DirectoryNodeState) -> tuple:
         dir_block = self._dir_memo.get(directory)
         if dir_block is None:
             if len(self._dir_memo) >= _MEMO_LIMIT:
                 self._dir_memo.clear()
             dir_block = directory.encoded(self._dir_index, self.num_caches)
             self._dir_memo[directory] = dir_block
-        out.extend(dir_block)
-        out.append(state.latest_version)
-        network = state.network
+        return dir_block
+
+    def _encode_net(self, network: Network) -> tuple:
         net_section = self._net_memo.get(network)
         if net_section is None:
             if len(self._net_memo) >= _MEMO_LIMIT:
                 self._net_memo.clear()
             net_section = network.encoded(self._mtype_index)
             self._net_memo[network] = net_section
-        out.extend(net_section)
+        return net_section
+
+    def encode(self, state: GlobalState) -> tuple:
+        """Flat int-tuple encoding of *state* (bijective; see module docs)."""
+        out: list[int] = []
+        n = self.num_caches
+        for addr in range(self.num_addresses):
+            for cache in state.caches[addr * n : (addr + 1) * n]:
+                out.extend(self._encode_cache(cache))
+            directory = state.directory if addr == 0 else state.extra_dirs[addr - 1]
+            out.extend(self._encode_dir(directory))
+            out.append(
+                state.latest_version if addr == 0 else state.extra_versions[addr - 1]
+            )
+        if self.faults:
+            out.append(state.faults_used)
+        out.extend(self._encode_net(state.network))
+        for network in state.extra_networks:
+            out.extend(self._encode_net(network))
         return tuple(out)
 
-    def decode(self, enc: tuple) -> GlobalState:
-        """Exact inverse of :meth:`encode`."""
-        self.decode_count += 1
-        width = self.cache_width
-        caches = []
-        for i in range(self.num_caches):
-            block = enc[i * width : (i + 1) * width]
-            cache = self._dec_cache_memo.get(block)
-            if cache is None:
-                if len(self._dec_cache_memo) >= _MEMO_LIMIT:
-                    self._dec_cache_memo.clear()
-                cache = decode_cache_block(block, self.cache_states, self.access_kinds)
-                self._dec_cache_memo[block] = cache
-            caches.append(cache)
-        dir_block = enc[self.dir_offset : self.version_offset]
+    def _decode_cache(self, block: tuple) -> CacheNodeState:
+        cache = self._dec_cache_memo.get(block)
+        if cache is None:
+            if len(self._dec_cache_memo) >= _MEMO_LIMIT:
+                self._dec_cache_memo.clear()
+            cache = decode_cache_block(block, self.cache_states, self.access_kinds)
+            self._dec_cache_memo[block] = cache
+        return cache
+
+    def _decode_dir(self, dir_block: tuple) -> DirectoryNodeState:
         directory = self._dec_dir_memo.get(dir_block)
         if directory is None:
             if len(self._dec_dir_memo) >= _MEMO_LIMIT:
                 self._dec_dir_memo.clear()
             directory = decode_directory_block(dir_block, self.dir_states)
             self._dec_dir_memo[dir_block] = directory
+        return directory
+
+    def decode(self, enc: tuple) -> GlobalState:
+        """Exact inverse of :meth:`encode`."""
+        self.decode_count += 1
+        width = self.cache_width
+        stride = self.plane_stride
+        caches = []
+        dirs = []
+        versions = []
+        for addr in range(self.num_addresses):
+            plane = addr * stride
+            for i in range(self.num_caches):
+                base = plane + i * width
+                caches.append(self._decode_cache(enc[base : base + width]))
+            dirs.append(
+                self._decode_dir(enc[plane + self.dir_offset : plane + self.version_offset])
+            )
+            versions.append(enc[plane + self.version_offset])
+        faults_used = enc[self.fault_offset] if self.faults else 0
         network_cls = OrderedNetwork if self.ordered else UnorderedNetwork
+        networks = []
+        pos = self.net_offset
+        for _ in range(self.num_addresses):
+            networks.append(network_cls.from_encoded(enc, pos, self.mtypes))
+            pos += self._section_length(enc, pos)
         return GlobalState(
             caches=tuple(caches),
-            directory=directory,
-            network=network_cls.from_encoded(enc, self.net_offset, self.mtypes),
-            latest_version=enc[self.version_offset],
+            directory=dirs[0],
+            network=networks[0],
+            latest_version=versions[0],
+            extra_dirs=tuple(dirs[1:]),
+            extra_versions=tuple(versions[1:]),
+            extra_networks=tuple(networks[1:]),
+            faults_used=faults_used,
         )
+
+    def _section_length(self, enc: tuple, pos: int) -> int:
+        """Lane count of the network section starting at *pos*."""
+        mw = MESSAGE_ENCODED_WIDTH
+        count = enc[pos]
+        if not self.ordered:
+            return 1 + count * mw
+        length = 1
+        for _ in range(count):
+            length += 4 + enc[pos + length + 3] * mw
+        return length
 
     # -- bytes packing -----------------------------------------------------------
     def pack(self, enc: tuple) -> bytes:
@@ -315,7 +394,8 @@ class StateCodec:
         if len(memo) >= _MEMO_LIMIT:
             memo.clear()
         out = list(self.relabeled_directory_key(enc, perm))
-        out.append(enc[self.version_offset])
+        # version lane plus the (perm-invariant) fault lane when present
+        out.extend(enc[self.version_offset : self.net_offset])
         out.extend(self._relabeled_net_section_tables(enc, perm, t2))
         memo[key] = out
         return out
@@ -360,7 +440,12 @@ class StateCodec:
         return out
 
     def relabel(self, enc: tuple, perm: tuple[int, ...]) -> tuple:
-        """``encode(decode(enc).relabeled(perm))`` computed on the encoding."""
+        """``encode(decode(enc).relabeled(perm))`` computed on the encoding.
+
+        Single-plane layouts only (symmetry reduction is gated off for
+        multi-address systems at the engine level)."""
+        if self.num_addresses != 1:
+            raise ValueError("encoded relabeling supports single-address layouts only")
         width = self.cache_width
         blocks: list[tuple | None] = [None] * self.num_caches
         for old in range(self.num_caches):
@@ -377,7 +462,7 @@ class StateCodec:
         for block in blocks:
             out.extend(block)  # type: ignore[arg-type]
         out.extend(self._relabeled_dir_block(enc, perm))
-        out.append(enc[self.version_offset])
+        out.extend(enc[self.version_offset : self.net_offset])
         out.extend(self._relabeled_net_section(self.network_items(enc), perm))
         return tuple(out)
 
@@ -428,7 +513,16 @@ class StateCodec:
             return parsed
         if len(memo) >= _MEMO_LIMIT:
             memo.clear()
-        pos = self.net_offset
+        parsed = self._parse_section(enc, self.net_offset)
+        memo[section] = parsed
+        return parsed
+
+    def _parse_section(self, enc: tuple, start: int):
+        """Parse one network section beginning at lane *start*.
+
+        Returns ``(items, offsets)`` with offsets relative to *start*
+        (``offsets[0] == 1``, ``offsets[-1]`` the section length)."""
+        pos = start
         count = enc[pos]
         pos += 1
         mw = MESSAGE_ENCODED_WIDTH
@@ -446,10 +540,34 @@ class StateCodec:
                 )
                 pos += nmsgs * mw
                 items.append((src, dst, vnet, msgs))
-                offs.append(pos - self.net_offset)
+                offs.append(pos - start)
             offsets = tuple(offs)
-        parsed = (items, offsets)
-        memo[section] = parsed
+        return (items, offsets)
+
+    def parsed_planes(self, enc: tuple):
+        """Per-address ``(items, offsets, start)`` handles (absolute starts).
+
+        The general (multi-address / fault-model) kernel path threads this
+        from ``enabled`` into ``apply`` the same way the single-plane path
+        threads :meth:`parsed_network`.  Memoized per distinct suffix."""
+        if self.num_addresses == 1:
+            items, offsets = self.parsed_network(enc)
+            return ((items, offsets, self.net_offset),)
+        key = enc[self.net_offset :]
+        memo = self._planes_memo
+        parsed = memo.get(key)
+        if parsed is not None:
+            return parsed
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        planes = []
+        pos = self.net_offset
+        for _ in range(self.num_addresses):
+            items, offsets = self._parse_section(enc, pos)
+            planes.append((items, offsets, pos))
+            pos += offsets[-1]
+        parsed = tuple(planes)
+        memo[key] = parsed
         return parsed
 
     def _relabeled_net_section(self, items, perm: tuple[int, ...]) -> list[int]:
@@ -557,18 +675,53 @@ class StateCodec:
 
     # -- events ------------------------------------------------------------------
     def encode_event(self, event: SystemEvent) -> tuple:
-        """Flat int encoding of a system event (for cross-process records)."""
+        """Flat int encoding of a system event (for cross-process records).
+
+        Single-address encodings keep their historical shape; with several
+        addresses the plane index is appended as one trailing lane (the
+        record kinds are fixed-width per tag, so decoding stays unambiguous).
+        """
         if isinstance(event, IssueAccess):
-            return (0, event.cache_id, self._access_index[event.access])
-        if isinstance(event, DeliverMessage):
-            return (1, *event.message.encoded(self._mtype_index))
-        raise TypeError(f"unknown event {event!r}")
+            fields = (0, event.cache_id, self._access_index[event.access])
+        elif isinstance(event, DeliverMessage):
+            fields = (1, *event.message.encoded(self._mtype_index))
+        elif isinstance(event, DuplicateMessage):
+            fields = (2, *event.message.encoded(self._mtype_index))
+        elif isinstance(event, ReorderMessage):
+            fields = (3, event.src + 2, event.dst + 2, event.vnet, event.position)
+        else:
+            raise TypeError(f"unknown event {event!r}")
+        if self.num_addresses == 1:
+            return fields
+        addr = getattr(event, "addr", 0)
+        return fields + (addr,)
 
     def decode_event(self, fields: tuple) -> SystemEvent:
         """Inverse of :meth:`encode_event`."""
-        if fields[0] == 0:
-            return IssueAccess(cache_id=fields[1], access=self.access_kinds[fields[2]])
-        return DeliverMessage(message=decode_message(fields[1:], self.mtypes))
+        addr = 0
+        if self.num_addresses > 1:
+            addr = fields[-1]
+            fields = fields[:-1]
+        tag = fields[0]
+        if tag == 0:
+            return IssueAccess(
+                cache_id=fields[1], access=self.access_kinds[fields[2]], addr=addr
+            )
+        if tag == 1:
+            return DeliverMessage(
+                message=decode_message(fields[1:], self.mtypes), addr=addr
+            )
+        if tag == 2:
+            return DuplicateMessage(
+                message=decode_message(fields[1:], self.mtypes), addr=addr
+            )
+        return ReorderMessage(
+            src=fields[1] - 2,
+            dst=fields[2] - 2,
+            vnet=fields[3],
+            position=fields[4],
+            addr=addr,
+        )
 
     # -- conveniences ---------------------------------------------------------------
     def encode_packed(self, state: GlobalState) -> bytes:

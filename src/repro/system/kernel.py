@@ -126,11 +126,41 @@ class TransitionKernel:
         self.dir_offset = codec.dir_offset
         self.version_offset = codec.version_offset
         self.net_offset = codec.net_offset
-        self.max_accesses = system.workload.max_accesses_per_cache
-        #: Access-kind indices in *workload enumeration order* (the object
-        #: model iterates ``workload.access_kinds``, not the sorted catalog).
-        self.access_order = tuple(
-            codec.access_kinds.index(kind) for kind in system.workload.access_kinds
+        self.num_addresses = codec.num_addresses
+        self.plane_stride = codec.plane_stride
+        self.fault_offset = codec.fault_offset
+        faults = system.faults
+        self.fault_budget = faults.budget if faults is not None else 0
+        self.fault_duplicate = bool(faults is not None and faults.duplicate)
+        self.fault_reorder = bool(faults is not None and faults.reorder)
+        from repro.system.system import LitmusWorkload
+
+        workload = system.workload
+        if isinstance(workload, LitmusWorkload):
+            self.max_accesses = 0
+            self.access_order = ()
+            #: Per-cache compiled programs: ``(access_index, addr)`` per op.
+            self._litmus_ops = tuple(
+                tuple(
+                    (codec.access_kinds.index(kind), addr) for kind, addr in program
+                )
+                for program in workload.programs
+            )
+        else:
+            self.max_accesses = workload.max_accesses_per_cache
+            #: Access-kind indices in *workload enumeration order* (the object
+            #: model iterates ``workload.access_kinds``, not the sorted catalog).
+            self.access_order = tuple(
+                codec.access_kinds.index(kind) for kind in workload.access_kinds
+            )
+            self._litmus_ops = None
+        #: Single-plane, fault-free, non-litmus configs keep the historical
+        #: fast enumeration/apply path bit-for-bit; everything else routes
+        #: through the general (plane-aware) path.
+        self._simple = (
+            self.num_addresses == 1
+            and self.fault_offset is None
+            and self._litmus_ops is None
         )
         self.ai_load = codec.access_kinds.index(AccessKind.LOAD)
         self.ai_store = codec.access_kinds.index(AccessKind.STORE)
@@ -210,6 +240,8 @@ class TransitionKernel:
         memoized ``(items, channel lane offsets)`` pair of the codec, parsed
         once per distinct section).
         """
+        if not self._simple:
+            return self._enabled_general(enc)
         plans: list = []
         apply_access = self._apply_access_plan
         apply_delivery = self._apply_delivery_plan
@@ -260,7 +292,7 @@ class TransitionKernel:
                 if len(cands) == 1 and cands[0].guard == 0:
                     ct = cands[0]
                 else:
-                    ct = select(cands, rec, enc, base)
+                    ct = select(cands, rec, enc, base, d0)
                 if ct is not None and ct is not AMBIGUOUS:
                     if ct.stall:
                         continue  # stalled deliveries are not enabled
@@ -271,7 +303,131 @@ class TransitionKernel:
             plans.append((apply_delivery, (1,) + rec, rec, ct, idx, fn))
         return plans, net
 
-    def _select(self, cands: tuple, rec: tuple, enc: tuple, base: int | None):
+    @staticmethod
+    def _deduped_records(records):
+        """Distinct unordered-network records (the bag is sorted, so equal
+        records are adjacent); mirrors ``UnorderedNetwork.deliverable``."""
+        previous = None
+        for idx, rec in enumerate(records):
+            if rec != previous:
+                previous = rec
+                yield idx, rec
+
+    def _enabled_general(self, enc: tuple) -> tuple[list, tuple]:
+        """Plane-aware twin of :meth:`enabled` for multi-address, fault-model
+        and litmus configurations.  Returns ``(plans, planes)`` where
+        *planes* is the :meth:`StateCodec.parsed_planes` handle; plan order
+        mirrors :meth:`repro.system.System.enabled_events` exactly
+        (accesses, then deliveries plane by plane, then faults)."""
+        plans: list = []
+        planes = self.codec.parsed_planes(enc)
+        num_addresses = self.num_addresses
+        stride = self.plane_stride
+        width = CACHE_ENCODED_WIDTH
+        stable = self.spec.cache.stable
+        single = num_addresses == 1
+        apply_access = self._apply_access_plan_general
+        if self._litmus_ops is not None:
+            on_access = self.spec.cache.on_access
+            for cid in range(self.num_caches):
+                ops = self._litmus_ops[cid]
+                pc = sum(
+                    enc[a * stride + cid * width + CF_ISSUED]
+                    for a in range(num_addresses)
+                )
+                if pc >= len(ops):
+                    continue
+                if not all(
+                    stable[enc[a * stride + cid * width]]
+                    for a in range(num_addresses)
+                ):
+                    continue
+                ai, addr = ops[pc]
+                ct = on_access[enc[addr * stride + cid * width]][ai]
+                if ct is None or ct.stall:
+                    continue
+                eev = (0, cid, ai) if single else (0, cid, ai, addr)
+                plans.append(
+                    (apply_access, eev, cid, ct, self._cache_fns[id(ct)], addr)
+                )
+        else:
+            access_plans = self._access_plans
+            max_accesses = self.max_accesses
+            for cid in range(self.num_caches):
+                for addr in range(num_addresses):
+                    base = addr * stride + cid * width
+                    if enc[base + CF_ISSUED] >= max_accesses:
+                        continue
+                    si = enc[base]
+                    if stable[si]:
+                        for ai, ct, fn in access_plans[si]:
+                            eev = (0, cid, ai) if single else (0, cid, ai, addr)
+                            plans.append((apply_access, eev, cid, ct, fn, addr))
+        apply_delivery = self._apply_delivery_plan_general
+        dir_rows = self.spec.directory.on_message
+        cache_rows = self.spec.cache.on_message
+        cache_fns = self._cache_fns
+        select = self._select
+        for addr in range(num_addresses):
+            items = planes[addr][0]
+            d0 = addr * stride + self.dir_offset
+            if self.ordered:
+                deliverable = enumerate(item[3][0] for item in items)
+            else:
+                deliverable = self._deduped_records(items)
+            for idx, rec in deliverable:
+                fn = None
+                if rec[2] == 1:  # destination is the directory
+                    cands = dir_rows[enc[d0]].get(rec[0])
+                    base = None
+                else:
+                    base = addr * stride + (rec[2] - 2) * width
+                    cands = cache_rows[enc[base]].get(rec[0])
+                if cands:
+                    if len(cands) == 1 and cands[0].guard == 0:
+                        ct = cands[0]
+                    else:
+                        ct = select(cands, rec, enc, base, d0)
+                    if ct is not None and ct is not AMBIGUOUS:
+                        if ct.stall:
+                            continue  # stalled deliveries are not enabled
+                        if base is not None:
+                            fn = cache_fns[id(ct)]
+                else:
+                    ct = None
+                eev = (1,) + rec if single else (1,) + rec + (addr,)
+                plans.append((apply_delivery, eev, rec, ct, idx, fn, addr))
+        fault_lane = self.fault_offset
+        if fault_lane is not None and enc[fault_lane] < self.fault_budget:
+            if self.fault_duplicate:
+                apply_dup = self._apply_duplicate_plan
+                for addr in range(num_addresses):
+                    items = planes[addr][0]
+                    if self.ordered:
+                        candidates = enumerate(item[3][0] for item in items)
+                    else:
+                        candidates = self._deduped_records(items)
+                    for idx, rec in candidates:
+                        eev = (2,) + rec if single else (2,) + rec + (addr,)
+                        plans.append((apply_dup, eev, addr, idx))
+            if self.fault_reorder and self.ordered:
+                apply_reorder = self._apply_reorder_plan
+                for addr in range(num_addresses):
+                    items = planes[addr][0]
+                    for idx, (src, dst, vnet, msgs) in enumerate(items):
+                        for pos in range(len(msgs) - 1):
+                            if msgs[pos] != msgs[pos + 1]:
+                                eev = (
+                                    (3, src, dst, vnet, pos)
+                                    if single
+                                    else (3, src, dst, vnet, pos, addr)
+                                )
+                                plans.append((apply_reorder, eev, addr, idx, pos))
+        return plans, planes
+
+    def _select(
+        self, cands: tuple, rec: tuple, enc: tuple, base: int | None, d0: int
+    ):
         """Mirror of :func:`repro.system.executor.select_transition` over
         encoded fields: evaluate guards, prefer a unique guarded match.
         The caller (``enabled``) resolves the single-unguarded-candidate
@@ -280,7 +436,7 @@ class TransitionKernel:
         guarded = []
         for ct in cands:
             g = ct.guard
-            if g and not self._guard(g, rec, enc, base):
+            if g and not self._guard(g, rec, enc, base, d0):
                 continue
             matching.append(ct)
             if g:
@@ -293,7 +449,9 @@ class TransitionKernel:
             return None
         return AMBIGUOUS
 
-    def _guard(self, g: int, rec: tuple, enc: tuple, base: int | None) -> bool:
+    def _guard(
+        self, g: int, rec: tuple, enc: tuple, base: int | None, d0: int
+    ) -> bool:
         """Encoded mirror of :func:`repro.system.executor.evaluate_guard`."""
         if g <= 2:  # ack_count_zero / ack_count_nonzero
             outstanding = (rec[9] - 2 if rec[8] else 0) - enc[base + CF_ACKS_RECEIVED]
@@ -302,7 +460,6 @@ class TransitionKernel:
             expected = enc[base + CF_ACKS_EXPECTED]
             complete = expected != 0 and enc[base + CF_ACKS_RECEIVED] + 1 >= expected - 1
             return complete if g == 3 else not complete
-        d0 = self.dir_offset
         if g <= 6:  # from_owner / not_from_owner
             owner = enc[d0 + 1]
             is_owner = owner != 0 and rec[1] == owner
@@ -351,7 +508,7 @@ class TransitionKernel:
         out[base + CF_STATE] = ct.next_state
         if ct.has_perform:
             out[base + CF_PENDING] = 0
-        self._emit_net(out, enc, net, None, sends)
+        self._emit_net(out, enc, net, None, sends, self.net_offset, len(enc))
         return tuple(out)
 
     def _apply_cache_delivery(self, enc, rec, ct, net, where, fn):
@@ -366,7 +523,111 @@ class TransitionKernel:
         out[base + CF_STATE] = ct.next_state
         if ct.has_perform:
             out[base + CF_PENDING] = 0
-        self._emit_net(out, enc, net, where, sends)
+        self._emit_net(out, enc, net, where, sends, self.net_offset, len(enc))
+        return tuple(out)
+
+    # -- general (plane-aware) apply handlers -------------------------------------
+    def _emit_net_plane(self, out, enc, planes, addr, where, sends):
+        """Emit the successor's network sections: earlier planes verbatim,
+        plane *addr* through :meth:`_emit_net`, later planes verbatim."""
+        items, offsets, start = planes[addr]
+        end = start + offsets[-1]
+        out.extend(enc[self.net_offset : start])
+        self._emit_net(out, enc, (items, offsets), where, sends, start, end)
+        out.extend(enc[end:])
+
+    def _apply_access_plan_general(self, enc: tuple, plan: tuple, planes: tuple):
+        addr = plan[5]
+        cid = plan[2]
+        ai = plan[1][2]
+        ct = plan[3]
+        fn = plan[4]
+        plane = addr * self.plane_stride
+        out = list(enc[: self.net_offset])
+        base = plane + cid * CACHE_ENCODED_WIDTH
+        out[base + CF_ISSUED] += 1
+        out[base + CF_PENDING] = ai + 1
+        sends: list = []
+        if fn is not None and not fn(
+            out, base, cid, None, ai, sends, plane + self.version_offset
+        ):
+            return None
+        out[base + CF_STATE] = ct.next_state
+        if ct.has_perform:
+            out[base + CF_PENDING] = 0
+        self._emit_net_plane(out, enc, planes, addr, None, sends)
+        return tuple(out)
+
+    def _apply_delivery_plan_general(self, enc: tuple, plan: tuple, planes: tuple):
+        ct = plan[3]
+        if ct is None or ct is AMBIGUOUS:
+            return None  # unexpected message / ambiguous guards -> object error
+        rec = plan[2]
+        addr = plan[6]
+        where = plan[4]
+        plane = addr * self.plane_stride
+        out = list(enc[: self.net_offset])
+        sends: list = []
+        if rec[2] == 1:  # directory delivery
+            d0 = plane + self.dir_offset
+            if not self._dir_fns[id(ct)](
+                out, rec, sends, d0, d0 + 2 + self.num_caches
+            ):
+                return None
+        else:
+            cid = rec[2] - 2
+            base = plane + cid * CACHE_ENCODED_WIDTH
+            pending = out[base + CF_PENDING]
+            ai = pending - 1 if pending else None
+            fn = plan[5]
+            if fn is not None and not fn(
+                out, base, cid, rec, ai, sends, plane + self.version_offset
+            ):
+                return None
+            out[base + CF_STATE] = ct.next_state
+            if ct.has_perform:
+                out[base + CF_PENDING] = 0
+        self._emit_net_plane(out, enc, planes, addr, where, sends)
+        return tuple(out)
+
+    def _apply_duplicate_plan(self, enc: tuple, plan: tuple, planes: tuple):
+        """Decode-free duplication: splice an extra copy of the duplicated
+        record into its section (behind the head for ordered channels,
+        adjacent to its twin in the sorted unordered bag)."""
+        addr, where = plan[2], plan[3]
+        items, offsets, start = planes[addr]
+        end = start + offsets[-1]
+        mw = MESSAGE_ENCODED_WIDTH
+        out = list(enc[: self.net_offset])
+        out[self.fault_offset] += 1
+        out.extend(enc[self.net_offset : start])
+        if self.ordered:
+            at = start + offsets[where]  # channel header
+            out.extend(enc[start : at + 3])
+            out.append(enc[at + 3] + 1)
+            out.extend(enc[at + 4 : at + 4 + mw])  # the head, again
+            out.extend(enc[at + 4 : end])
+        else:
+            at = start + offsets[where]  # the record itself
+            out.append(enc[start] + 1)
+            out.extend(enc[start + 1 : at])
+            out.extend(enc[at : at + mw])  # the copy, kept adjacent (sorted)
+            out.extend(enc[at : end])
+        out.extend(enc[end:])
+        return tuple(out)
+
+    def _apply_reorder_plan(self, enc: tuple, plan: tuple, planes: tuple):
+        """Decode-free reorder: swap two adjacent message records in place."""
+        addr, chan, pos = plan[2], plan[3], plan[4]
+        offsets, start = planes[addr][1], planes[addr][2]
+        mw = MESSAGE_ENCODED_WIDTH
+        out = list(enc[: self.net_offset])
+        out[self.fault_offset] += 1
+        first = start + offsets[chan] + 4 + pos * mw
+        out.extend(enc[self.net_offset : first])
+        out.extend(enc[first + mw : first + 2 * mw])
+        out.extend(enc[first : first + mw])
+        out.extend(enc[first + 2 * mw :])
         return tuple(out)
 
     def _compile_cache_fn(self, ct):
@@ -384,8 +645,9 @@ class TransitionKernel:
         """
         if not ct.ops:
             return None
-        vo = self.version_offset
-        lines = ["def fn(out, base, cid, rec, ai, sends):"]
+        # Plane-0 version offset as a default arg: single-plane callers omit
+        # it, multi-address callers pass their plane's absolute offset.
+        lines = [f"def fn(out, base, cid, rec, ai, sends, vo={self.version_offset}):"]
         emit = lines.append
         tmp = 0
         for op in ct.ops:
@@ -454,10 +716,10 @@ class TransitionKernel:
                 emit(f"   out[base + {CF_LAST_OBSERVED}] = data")
                 emit(f"  elif ai == {self.ai_store}:")
                 emit(f"   data = out[base + {CF_DATA}]")
-                emit(f"   if data == 0 or data - 1 != out[{vo}]:")
+                emit("   if data == 0 or data - 1 != out[vo]:")
                 emit("    return False  # store without data / data-value violation")
-                emit(f"   version = out[{vo}] + 1")
-                emit(f"   out[{vo}] = version")
+                emit("   version = out[vo] + 1")
+                emit("   out[vo] = version")
                 emit(f"   out[base + {CF_DATA}] = version + 1")
                 emit(f"   out[base + {CF_LAST_OBSERVED}] = version + 1")
                 emit("  else:  # replacement: the block leaves the cache")
@@ -472,7 +734,7 @@ class TransitionKernel:
         sends: list = []
         if not self._dir_fns[id(ct)](out, rec, sends):
             return None
-        self._emit_net(out, enc, net, where, sends)
+        self._emit_net(out, enc, net, where, sends, self.net_offset, len(enc))
         return tuple(out)
 
     def _compile_directory_fn(self, ct):
@@ -497,20 +759,22 @@ class TransitionKernel:
         ) or any(
             op[0] == OP_DIR_SEND and op[3] == DEST_OWNER for op in ct.ops
         )
-        lines = ["def fn(out, rec, sends):"]
+        # Plane-0 lanes as default args: single-plane callers omit them,
+        # multi-address callers pass their plane's absolute offsets.
+        lines = [f"def fn(out, rec, sends, d0={d0}, mem_i={mem_i}):"]
         emit = lines.append
         emit(" reqf = rec[4]")
         emit(" reqv = rec[5]")
         if uses_owner:
-            emit(f" owner = out[{d0 + 1}]")
+            emit(" owner = out[d0 + 1]")
         if touches_sharers:
-            emit(f" sharers = {{v for v in out[{d0 + 2}:{mem_i}] if v}}")
+            emit(" sharers = {v for v in out[d0 + 2:mem_i] if v}")
         for op in ct.ops:
             code = op[0]
             if code == OP_DIR_SEND:
                 _, mt, vnet, dest, with_data, with_ack = op
                 if with_data:
-                    emit(f" dv = out[{mem_i}] + 2")
+                    emit(" dv = out[mem_i] + 2")
                     df, dv = "1", "dv"
                 else:
                     df, dv = "0", "0"
@@ -534,7 +798,7 @@ class TransitionKernel:
             elif code == OP_WRITE_MEMORY:
                 emit(" if not rec[6]:")
                 emit('  return False  # "expected data in <message>"')
-                emit(f" out[{mem_i}] = rec[7] - 2")
+                emit(" out[mem_i] = rec[7] - 2")
             elif code == OP_SET_OWNER_REQ:
                 emit(" owner = reqv if reqf else 0")
             elif code == OP_CLEAR_OWNER:
@@ -551,20 +815,21 @@ class TransitionKernel:
                 emit("  sharers.discard(reqv)")
             else:  # OP_CLEAR_SHARERS
                 emit(" sharers.clear()")
-        emit(f" out[{d0}] = {ct.next_state}")
+        emit(f" out[d0] = {ct.next_state}")
         if uses_owner:
-            emit(f" out[{d0 + 1}] = owner")
+            emit(" out[d0 + 1] = owner")
         if touches_sharers:
             emit(" run = sorted(sharers)")
             emit(f" run.extend(0 for _ in range({n} - len(run)))")
-            emit(f" out[{d0 + 2}:{mem_i}] = run")
+            emit(" out[d0 + 2:mem_i] = run")
         emit(" return True")
         namespace: dict = {}
         exec("\n".join(lines), namespace)  # noqa: S102 - trusted generated source
         return namespace["fn"]
 
     def _emit_net(
-        self, out: list, enc: tuple, net: tuple, where: int | None, sends: list
+        self, out: list, enc: tuple, net: tuple, where: int | None, sends: list,
+        no: int, end: int,
     ) -> None:
         """Append the successor network section: the parent's section minus
         the delivered message (channel/record index *where*) plus *sends*,
@@ -578,11 +843,12 @@ class TransitionKernel:
         channel header, if emptied), and sends rebuild only the channels
         they touch -- every untouched channel is one slice copy through the
         per-section channel offsets of *net* (the parse handle built by
-        :meth:`enabled`).
+        :meth:`enabled`).  *no*/*end* bound the section's lanes in *enc*
+        (the whole suffix for single-plane states, one plane's section for
+        multi-address states -- *net*'s offsets are relative to *no*).
         """
-        no = self.net_offset
         if not sends and where is None:
-            out.extend(enc[no:])
+            out.extend(enc[no:end])
             return
         items, offsets = net
         mw = MESSAGE_ENCODED_WIDTH
@@ -591,7 +857,7 @@ class TransitionKernel:
                 at = no + 1 + where * mw
                 out.append(enc[no] - 1)
                 out.extend(enc[no + 1 : at])
-                out.extend(enc[at + mw :])
+                out.extend(enc[at + mw : end])
                 return
             msgs = [m for i, m in enumerate(items) if i != where]
             msgs.extend(sends)
@@ -611,10 +877,10 @@ class TransitionKernel:
                 out.append(enc[no])
                 out.extend(enc[no + 1 : at + 3])
                 out.append(nmsgs - 1)
-            out.extend(enc[at + 4 + mw :])
+            out.extend(enc[at + 4 + mw : end])
             return
         if len(sends) == 1:
-            self._emit_net_single(out, enc, items, offsets, where, sends[0])
+            self._emit_net_single(out, enc, items, offsets, where, sends[0], no, end)
             return
         send_map: dict = {}
         for m in sends:
@@ -680,7 +946,7 @@ class TransitionKernel:
 
     def _emit_net_single(
         self, out: list, enc: tuple, items: list, offsets: tuple,
-        where: int | None, m: tuple,
+        where: int | None, m: tuple, no: int, end: int,
     ) -> None:
         """One-send ordered specialization of :meth:`_emit_net`.
 
@@ -690,7 +956,6 @@ class TransitionKernel:
         the parent's lanes with one or two local edits, emitted as slice
         copies around them.  Bit-identical to the general merge.
         """
-        no = self.net_offset
         mw = MESSAGE_ENCODED_WIDTH
         k0, k1, k2 = m[1], m[2], m[3]
         nchan = enc[no]
@@ -740,7 +1005,7 @@ class TransitionKernel:
                 at_i = (
                     no + offsets[insert_before]
                     if insert_before is not None
-                    else len(enc)
+                    else end
                 )
                 edits.append((at_i, 0, (k0, k1, k2, 1) + m))
                 nchan += 1
@@ -759,72 +1024,131 @@ class TransitionKernel:
             out.extend(enc[pos:start])
             out.extend(replacement)
             pos = start + skip
-        out.extend(enc[pos:])
+        out.extend(enc[pos:end])
 
     # -- predicates and invariants --------------------------------------------------
     def is_quiescent(self, enc: tuple) -> bool:
         """Encoded mirror of :meth:`repro.system.System.is_quiescent`."""
-        if enc[self.net_offset] != 0:
-            return False
-        if not self.spec.directory.stable[enc[self.dir_offset]]:
-            return False
         stable = self.spec.cache.stable
         width = CACHE_ENCODED_WIDTH
-        return all(stable[enc[cid * width]] for cid in range(self.num_caches))
+        if self.num_addresses == 1:
+            if enc[self.net_offset] != 0:
+                return False
+            if not self.spec.directory.stable[enc[self.dir_offset]]:
+                return False
+            return all(stable[enc[cid * width]] for cid in range(self.num_caches))
+        # All sections empty <=> the suffix is exactly one zero count lane
+        # per plane (a non-empty section is always longer than one lane).
+        num_addresses = self.num_addresses
+        if len(enc) != self.net_offset + num_addresses:
+            return False
+        stride = self.plane_stride
+        dir_stable = self.spec.directory.stable
+        for addr in range(num_addresses):
+            plane = addr * stride
+            if not dir_stable[enc[plane + self.dir_offset]]:
+                return False
+            if not all(
+                stable[enc[plane + cid * width]] for cid in range(self.num_caches)
+            ):
+                return False
+        return True
 
     def workload_remaining(self, enc: tuple) -> bool:
         """True when some cache still has accesses left in its budget."""
         width = CACHE_ENCODED_WIDTH
+        if self._litmus_ops is not None:
+            stride = self.plane_stride
+            num_addresses = self.num_addresses
+            return any(
+                sum(
+                    enc[a * stride + cid * width + CF_ISSUED]
+                    for a in range(num_addresses)
+                )
+                < len(self._litmus_ops[cid])
+                for cid in range(self.num_caches)
+            )
         max_accesses = self.max_accesses
+        stride = self.plane_stride
         return any(
-            enc[cid * width + CF_ISSUED] < max_accesses
+            enc[addr * stride + cid * width + CF_ISSUED] < max_accesses
+            for addr in range(self.num_addresses)
             for cid in range(self.num_caches)
         )
 
-    def check(self, enc: tuple, codes: tuple[str, ...]) -> bool:
+    def is_complete(self, enc: tuple) -> bool:
+        """Encoded mirror of :meth:`repro.system.System.is_complete`."""
+        return self.is_quiescent(enc) and not self.workload_remaining(enc)
+
+    def check(self, enc: tuple, codes: tuple) -> bool:
         """Evaluate the compiled invariants named by *codes*; True = all hold.
 
         On a False return the caller decodes the state and re-runs the object
         invariants to build the exact violation report -- verdicts are a
         function of the state alone, so the slow path reproduces them.  The
         default pair (SWMR + single-owner) runs as one fused pass over the
-        cache state lanes.
+        cache state lanes.  SWMR and single-owner are per-address properties:
+        with several planes each plane is checked independently.  A litmus
+        invariant arrives as the tuple code ``("litmus", clauses)`` with each
+        clause a tuple of ``(cache_id, addr, version)`` observations, and
+        fires only on complete states where some clause matches in full.
         """
         permission = self.spec.cache.permission
         stable = self.spec.cache.stable
         width = CACHE_ENCODED_WIDTH
         n = self.num_caches
+        stride = self.plane_stride
         if codes == _DEFAULT_CODES:
-            writers = readers = stable_writers = 0
-            for cid in range(n):
-                si = enc[cid * width]
-                p = permission[si]
-                if p == 2:
-                    writers += 1
-                    if stable[si]:
-                        stable_writers += 1
-                elif p == 1:
-                    readers += 1
-            return not (writers > 1 or (writers and readers) or stable_writers > 1)
-        for code in codes:
-            if code == INV_SWMR:
-                writers = readers = 0
+            for addr in range(self.num_addresses):
+                plane = addr * stride
+                writers = readers = stable_writers = 0
                 for cid in range(n):
-                    p = permission[enc[cid * width]]
+                    si = enc[plane + cid * width]
+                    p = permission[si]
                     if p == 2:
                         writers += 1
+                        if stable[si]:
+                            stable_writers += 1
                     elif p == 1:
                         readers += 1
-                if writers > 1 or (writers and readers):
+                if writers > 1 or (writers and readers) or stable_writers > 1:
                     return False
-            else:  # INV_SINGLE_OWNER
-                stable_writers = 0
-                for cid in range(n):
-                    si = enc[cid * width]
-                    if stable[si] and permission[si] == 2:
-                        stable_writers += 1
-                if stable_writers > 1:
-                    return False
+            return True
+        complete = None  # lazily evaluated, shared across litmus codes
+        for code in codes:
+            if code == INV_SWMR:
+                for addr in range(self.num_addresses):
+                    plane = addr * stride
+                    writers = readers = 0
+                    for cid in range(n):
+                        p = permission[enc[plane + cid * width]]
+                        if p == 2:
+                            writers += 1
+                        elif p == 1:
+                            readers += 1
+                    if writers > 1 or (writers and readers):
+                        return False
+            elif code == INV_SINGLE_OWNER:
+                for addr in range(self.num_addresses):
+                    plane = addr * stride
+                    stable_writers = 0
+                    for cid in range(n):
+                        si = enc[plane + cid * width]
+                        if stable[si] and permission[si] == 2:
+                            stable_writers += 1
+                    if stable_writers > 1:
+                        return False
+            else:  # ("litmus", clauses)
+                if complete is None:
+                    complete = self.is_complete(enc)
+                if not complete:
+                    continue
+                for clause in code[1]:
+                    if all(
+                        enc[a * stride + c * width + CF_LAST_OBSERVED] == v + 1
+                        for c, a, v in clause
+                    ):
+                        return False
         return True
 
 

@@ -42,6 +42,22 @@ class Network:
         """Remove *message* (which must be deliverable) and return the new network."""
         raise NotImplementedError
 
+    def duplicate(self, message: Message) -> "Network":
+        """Fault injection: add an extra copy of *message* (which must be
+        deliverable) and return the new network."""
+        raise NotImplementedError
+
+    def reorderable(self) -> tuple[tuple[int, int, int, int], ...]:
+        """Fault injection: the ``(src, dst, vnet, position)`` swaps that
+        change the network (adjacent differing messages in one FIFO).  Empty
+        for unordered networks -- the bag already admits every order."""
+        return ()
+
+    def reorder(self, src: int, dst: int, vnet: int, position: int) -> "Network":
+        """Fault injection: swap the messages at ``position`` and
+        ``position + 1`` in the ``(src, dst, vnet)`` channel."""
+        raise ValueError("reorder faults apply to ordered networks only")
+
     @property
     def empty(self) -> bool:
         raise NotImplementedError
@@ -118,6 +134,36 @@ class OrderedNetwork(Network):
         if not queue or queue[0] != message:
             raise ValueError(f"message {message} is not at the head of its channel")
         channels[key] = queue[1:]
+        return self._from_dict(channels)
+
+    def duplicate(self, message: Message) -> "OrderedNetwork":
+        channels = self._as_dict()
+        key = (message.src, message.dst, message.vnet)
+        queue = channels.get(key, ())
+        if not queue or queue[0] != message:
+            raise ValueError(f"message {message} is not at the head of its channel")
+        channels[key] = (message,) + queue
+        return self._from_dict(channels)
+
+    def reorderable(self) -> tuple[tuple[int, int, int, int], ...]:
+        swaps = []
+        for (src, dst, vnet), msgs in self.channels:
+            for pos in range(len(msgs) - 1):
+                if msgs[pos] != msgs[pos + 1]:
+                    swaps.append((src, dst, vnet, pos))
+        return tuple(swaps)
+
+    def reorder(self, src: int, dst: int, vnet: int, position: int) -> "OrderedNetwork":
+        channels = self._as_dict()
+        key = (src, dst, vnet)
+        queue = channels.get(key, ())
+        if not 0 <= position < len(queue) - 1:
+            raise ValueError(
+                f"no adjacent pair at position {position} in channel {key}"
+            )
+        msgs = list(queue)
+        msgs[position], msgs[position + 1] = msgs[position + 1], msgs[position]
+        channels[key] = tuple(msgs)
         return self._from_dict(channels)
 
     @property
@@ -225,6 +271,11 @@ class UnorderedNetwork(Network):
         except ValueError:
             raise ValueError(f"message {message} is not in flight") from None
         return UnorderedNetwork(messages=tuple(messages))
+
+    def duplicate(self, message: Message) -> "UnorderedNetwork":
+        if message not in self.messages:
+            raise ValueError(f"message {message} is not in flight")
+        return self.send(message)
 
     @property
     def empty(self) -> bool:

@@ -31,9 +31,17 @@ from repro.verification.engine import (
 from repro.verification.invariants import (
     Invariant,
     InvariantViolation,
+    LitmusInvariant,
     default_invariants,
     single_owner_invariant,
     swmr_invariant,
+)
+from repro.verification.litmus import (
+    LITMUS_TESTS,
+    LitmusTest,
+    coherent_read_read,
+    message_passing,
+    store_buffering,
 )
 from repro.verification.random_walk import RandomWalkResult, random_walk
 
@@ -42,6 +50,9 @@ __all__ = [
     "DepthFirst",
     "Invariant",
     "InvariantViolation",
+    "LITMUS_TESTS",
+    "LitmusInvariant",
+    "LitmusTest",
     "ParallelBreadthFirst",
     "RandomWalkResult",
     "SearchStrategy",
@@ -51,10 +62,13 @@ __all__ = [
     "canonicalize_bruteforce",
     "canonicalize_bruteforce_encoded",
     "canonicalize_encoded",
+    "coherent_read_read",
     "default_invariants",
+    "message_passing",
     "random_walk",
     "relabel_event",
     "single_owner_invariant",
+    "store_buffering",
     "swmr_invariant",
     "verify",
 ]

@@ -427,6 +427,11 @@ def verify(
         tuple(invariants) if invariants is not None else tuple(default_invariants())
     )
     strat = resolve_strategy(strategy, processes=processes)
+    if symmetry and system.num_caches > 1 and not system.supports_symmetry:
+        raise ValueError(
+            "symmetry reduction requires a single-address, non-litmus system "
+            "(multi-address planes and litmus programs distinguish the caches)"
+        )
     perms = (
         system.symmetry_permutations()
         if symmetry and system.num_caches > 1

@@ -38,18 +38,23 @@ Invariant = Callable[[System, GlobalState], InvariantViolation | None]
 
 
 def swmr_invariant(system: System, state: GlobalState) -> InvariantViolation | None:
-    """Single-Writer / Multiple-Reader over the generated permission map."""
-    writers, readers = system.writers_and_readers(state)
-    if len(writers) > 1:
-        return InvariantViolation(
-            name="SWMR",
-            detail=f"caches {writers} hold write permission simultaneously",
-        )
-    if writers and readers:
-        return InvariantViolation(
-            name="SWMR",
-            detail=f"cache {writers[0]} holds write permission while caches {readers} can read",
-        )
+    """Single-Writer / Multiple-Reader over the generated permission map.
+
+    A per-address property: with several address planes each plane is
+    checked independently (writers on different blocks may coexist)."""
+    for addr in range(system.num_addresses):
+        writers, readers = system.writers_and_readers(state, addr)
+        at = f" on address {addr}" if addr else ""
+        if len(writers) > 1:
+            return InvariantViolation(
+                name="SWMR",
+                detail=f"caches {writers} hold write permission simultaneously{at}",
+            )
+        if writers and readers:
+            return InvariantViolation(
+                name="SWMR",
+                detail=f"cache {writers[0]} holds write permission while caches {readers} can read{at}",
+            )
     return None
 
 
@@ -57,21 +62,67 @@ def single_owner_invariant(system: System, state: GlobalState) -> InvariantViola
     """No two caches may simultaneously sit in a stable MODIFIED-like state.
 
     This is a stricter structural variant of SWMR that does not depend on the
-    permission assignment; it only looks at stable states.
+    permission assignment; it only looks at stable states.  Per-address, like
+    SWMR.
     """
     fsm = system.protocol.cache
-    stable_writers = [
-        cache_id
-        for cache_id, cache in enumerate(state.caches)
-        if fsm.state(cache.fsm_state).is_stable
-        and fsm.state(cache.fsm_state).permission.name == "READ_WRITE"
-    ]
-    if len(stable_writers) > 1:
-        return InvariantViolation(
-            name="single-owner",
-            detail=f"caches {stable_writers} are simultaneously in a stable writable state",
-        )
+    n = system.num_caches
+    for addr in range(system.num_addresses):
+        stable_writers = [
+            cache_id
+            for cache_id in range(n)
+            for cache in (state.caches[addr * n + cache_id],)
+            if fsm.state(cache.fsm_state).is_stable
+            and fsm.state(cache.fsm_state).permission.name == "READ_WRITE"
+        ]
+        if len(stable_writers) > 1:
+            at = f" on address {addr}" if addr else ""
+            return InvariantViolation(
+                name="single-owner",
+                detail=f"caches {stable_writers} are simultaneously in a stable writable state{at}",
+            )
     return None
+
+
+@dataclass(frozen=True)
+class LitmusInvariant:
+    """Forbidden final-outcome checker for litmus-test workloads.
+
+    *clauses* is a tuple of forbidden outcomes; each clause is a tuple of
+    ``(cache_id, addr, version)`` observations and is considered matched
+    when, in a **complete** state (quiescent, every program finished), every
+    listed cache's last observed value on the listed address equals the
+    listed ghost version.  Any matched clause is a consistency violation.
+
+    Callable with the ``(system, state)`` invariant signature so it drops
+    into ``verify(invariants=...)`` next to the default pair; the kernel
+    evaluates the same clauses decode-free via the ``("litmus", clauses)``
+    compiled code (see :meth:`TransitionKernel.check`).
+    """
+
+    name: str
+    clauses: tuple[tuple[tuple[int, int, int], ...], ...]
+
+    def __call__(
+        self, system: System, state: GlobalState
+    ) -> InvariantViolation | None:
+        if not system.is_complete(state):
+            return None
+        n = system.num_caches
+        for clause in self.clauses:
+            if all(
+                state.caches[addr * n + cache_id].last_observed == version
+                for cache_id, addr, version in clause
+            ):
+                outcome = ", ".join(
+                    f"C{cache_id} observed v{version} at a{addr}"
+                    for cache_id, addr, version in clause
+                )
+                return InvariantViolation(
+                    name=self.name,
+                    detail=f"forbidden outcome reached: {outcome}",
+                )
+        return None
 
 
 def default_invariants() -> Sequence[Invariant]:
@@ -88,8 +139,11 @@ COMPILED_INVARIANTS: dict[Invariant, str] = {
 
 def compiled_invariant_codes(
     invariants: Sequence[Invariant],
-) -> tuple[str, ...] | None:
+) -> tuple[str | tuple, ...] | None:
     """Kernel evaluator codes for *invariants*, in order.
+
+    Litmus invariants compile to the structured ``("litmus", clauses)`` code
+    (the checker is parameterized by its clause table, not its identity).
 
     Returns ``None`` when any invariant has no encoded evaluator -- the
     search then runs on the object backend, which calls arbitrary
@@ -97,6 +151,11 @@ def compiled_invariant_codes(
     """
     codes = []
     for invariant in invariants:
+        if isinstance(invariant, LitmusInvariant):
+            # Litmus checkers are data, not identity: the kernel evaluates
+            # the clause table directly on encoded last-observed lanes.
+            codes.append(("litmus", invariant.clauses))
+            continue
         code = COMPILED_INVARIANTS.get(invariant)
         if code is None:
             return None

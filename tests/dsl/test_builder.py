@@ -116,6 +116,26 @@ class TestTransactionBuilder:
         transaction = cache.build().transaction_for("I", AccessKind.LOAD)
         assert transaction.final_state == "S"
 
+    def test_final_state_permission_tie_breaks_deterministically(self):
+        """Equal-permission completion states (MESI's S/E) must not leave the
+        nominal final state -- and with it every derived transient name and
+        exported artifact -- to set iteration order under hash randomization;
+        the tie breaks toward the name sorting last (S over E -> ``IS_D``)."""
+        cache = CacheSpecBuilder(initial="I")
+        cache.state("I", Permission.NONE)
+        cache.state("S", Permission.READ)
+        cache.state("E", Permission.READ)
+        (
+            cache.on_access("I", AccessKind.LOAD)
+            .request("GetS")
+            .await_stage("D")
+            .when("Data", receives_data=True).complete("S")
+            .when("Data_E", receives_data=True).complete("E")
+            .done()
+        )
+        transaction = cache.build().transaction_for("I", AccessKind.LOAD)
+        assert transaction.final_state == "S"
+
 
 class TestReactions:
     def test_react_registers_reaction(self):

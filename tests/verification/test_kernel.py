@@ -271,7 +271,7 @@ class TestEmitNetDifferential:
         )
         out = list(enc[: codec.net_offset])
         sends = [msg.encoded(codec._mtype_index) for msg in send_msgs]
-        kernel._emit_net(out, enc, net, where, sends)
+        kernel._emit_net(out, enc, net, where, sends, codec.net_offset, len(enc))
         assert tuple(out) == expected, (
             f"where={where}, sends={send_msgs}, network={network}"
         )
