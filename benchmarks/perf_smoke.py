@@ -69,11 +69,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--addresses", type=int, default=1,
                         help="independent address planes the workload "
                              "interleaves (symmetry must be off for >1)")
+    parser.add_argument("--harden", default="on", choices=["on", "off"],
+                        help="generation-level fault hardening: 'on' (the "
+                             "default) builds duplication-idempotent "
+                             "protocols, 'off' reproduces the pre-hardening "
+                             "builds for bug-finding smokes")
     parser.add_argument("--expect", default="pass", choices=["pass", "fail"],
                         help="expected verdict: 'fail' flips the exit logic "
-                             "for bug-finding smokes (the bundled protocols "
-                             "demonstrably break under duplication), skipping "
-                             "the throughput gates")
+                             "for bug-finding smokes (the un-hardened "
+                             "protocols demonstrably break under "
+                             "duplication), skipping the throughput gates")
     parser.add_argument("--compare-kernels", action="store_true",
                         help="run the same search once per kernel, record "
                              "both, and fail unless the compiled kernel's "
@@ -88,10 +93,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     symmetry = args.symmetry == "on"
 
+    harden = args.harden == "on"
     config = (
-        GenerationConfig.stalling()
+        GenerationConfig.stalling(harden=harden)
         if args.config == "stalling"
-        else GenerationConfig.nonstalling()
+        else GenerationConfig.nonstalling(harden=harden)
     )
     generated = generate(protocols.load(args.protocol), config)
     faults = None
@@ -130,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
                 "faults": args.faults,
                 "fault_budget": args.fault_budget if faults else None,
                 "addresses": args.addresses,
+                "harden": harden,
             },
         )
         stats = result.stats

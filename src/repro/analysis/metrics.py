@@ -30,10 +30,12 @@ class ControllerMetrics:
 
 
 def protocol_transition_count(fsm: ControllerFsm) -> int:
-    """Transitions excluding stall markers and same-state access hits."""
+    """Transitions excluding stall markers, same-state access hits, and
+    generated hardening absorptions (the paper's tables describe protocol
+    behaviour under exactly-once delivery, with no fault tolerance)."""
     count = 0
     for transition in fsm.transitions():
-        if transition.stall:
+        if transition.stall or transition.absorb:
             continue
         if (
             isinstance(transition.event, AccessEvent)

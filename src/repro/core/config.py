@@ -63,6 +63,17 @@ class GenerationConfig:
     generate_stale_put_handling:
         Add the directory's "acknowledge any stale Put" transitions
         (paper Section V-F).
+    harden:
+        Add the fault-tolerance hardening pass
+        (:mod:`repro.core.harden`): absorption reactions that consume
+        re-delivered responses/forwards idempotently instead of raising
+        "cannot handle message" (re-acknowledging ack-only forwards such
+        as a late ``Inv``, reporting missed data-serving forwards back to
+        the directory), stale-Put data capture with captured-state
+        splitting, directory-side miss recovery, and absorption of
+        duplicated ownership requests from the current owner.  ``False``
+        reproduces the un-hardened protocols, which fail under message
+        duplication and deadlock under reordering.
     """
 
     policy: ConcurrencyPolicy = ConcurrencyPolicy.NONSTALLING_IMMEDIATE
@@ -71,6 +82,7 @@ class GenerationConfig:
     pending_transaction_limit: int = 3
     merge_equivalent_states: bool = True
     generate_stale_put_handling: bool = True
+    harden: bool = True
 
     @classmethod
     def stalling(cls, **overrides) -> "GenerationConfig":

@@ -121,13 +121,21 @@ class FsmState:
 
 @dataclass(frozen=True)
 class FsmTransition:
-    """One row-cell of the controller table."""
+    """One row-cell of the controller table.
+
+    ``absorb`` marks transitions added by the hardening pass
+    (:mod:`repro.core.harden`): idempotent consumption of a re-delivered
+    message.  It does not change execution semantics -- absorption is just a
+    (possibly re-acknowledging) self-loop -- but lets renderers and tests
+    distinguish generated fault tolerance from SSP-specified behaviour.
+    """
 
     state: str
     event: Event
     actions: tuple[Action, ...]
     next_state: str
     stall: bool = False
+    absorb: bool = False
 
     def with_actions(self, actions: Iterable[Action]) -> "FsmTransition":
         return replace(self, actions=tuple(actions))
@@ -203,6 +211,19 @@ class ControllerFsm:
         existing.append(transition)
         self._transitions.append(transition)
         return transition
+
+    def replace_transition(self, old: FsmTransition, new: FsmTransition) -> FsmTransition:
+        """Swap *old* for *new* in place (used by the hardening pass to
+        rewrite a generated transition's actions).  Both must share the same
+        (state, event) slot."""
+        if (old.state, event_key(old.event)) != (new.state, event_key(new.event)):
+            raise GenerationError(
+                "replace_transition requires matching (state, event) slots"
+            )
+        self._transitions[self._transitions.index(old)] = new
+        bucket = self._index[(old.state, event_key(old.event))]
+        bucket[bucket.index(old)] = new
+        return new
 
     def has_transition(self, state: str, event: Event) -> bool:
         key = (state, event_key(event))
@@ -331,6 +352,11 @@ GUARD_CODES: dict[str, int] = {
     "not_last_sharer": 8,
     "from_sharer": 9,
     "not_from_sharer": 10,
+    # Requestor-relative guards (hardening pass): unlike from_owner, which
+    # tests the *sender* of the message, these test the message's carried
+    # requestor identity against the directory's owner field.
+    "owner_is_requestor": 11,
+    "owner_not_requestor": 12,
 }
 
 # Action opcodes (cache controller).

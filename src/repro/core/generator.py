@@ -22,6 +22,7 @@ from repro.core.config import GenerationConfig
 from repro.core.context import CacheGenContext
 from repro.core.directory import generate_directory
 from repro.core.fsm import ControllerFsm, FsmTransition, GeneratedProtocol, MessageEvent
+from repro.core.harden import harden_protocol
 from repro.core.permissions import assign_access_permissions
 from repro.core.preprocess import preprocess
 from repro.core.transient import build_initial_transients
@@ -45,6 +46,8 @@ def generate(
 
     cache_fsm = _generate_cache(working, config)
     directory_fsm = generate_directory(working, config)
+    if config.harden:
+        harden_protocol(working, cache_fsm, directory_fsm)
 
     return GeneratedProtocol(
         name=working.name,

@@ -252,6 +252,18 @@ class _ControllerBuilder:
         )
         return self
 
+    def absorb(
+        self, state: str, message: str, *, guard: str | None = None
+    ) -> "_ControllerBuilder":
+        """Absorption reaction: consume *message* in *state* idempotently.
+
+        Shorthand for a no-action self-loop -- the spec-level form of the
+        absorption transitions the hardening pass (:mod:`repro.core.harden`)
+        generates, for protocols that want to declare duplicate tolerance
+        explicitly.
+        """
+        return self.react(state, message, state, guard=guard)
+
     def build(self) -> ControllerSpec:
         return ControllerSpec(
             kind=self.kind,

@@ -179,9 +179,19 @@ def evaluate_guard(
     if code <= 8:  # last_sharer / not_last_sharer
         last = message.src in directory.sharers and len(directory.sharers) == 1
         return last if code == 7 else not last
-    # from_sharer / not_from_sharer
-    is_sharer = message.src in directory.sharers
-    return is_sharer if code == 9 else not is_sharer
+    if code <= 10:  # from_sharer / not_from_sharer
+        is_sharer = message.src in directory.sharers
+        return is_sharer if code == 9 else not is_sharer
+    # owner_is_requestor / owner_not_requestor: unlike from_owner these test
+    # the message's carried requestor identity, not its sender.  Both
+    # require a recorded owner (the recovery transitions they guard act on
+    # it), so with no owner neither matches and an unguarded default wins.
+    is_req_owner = (
+        directory.owner is not None and message.requestor == directory.owner
+    )
+    if code == 11:
+        return is_req_owner
+    return directory.owner is not None and not is_req_owner
 
 
 # ---------------------------------------------------------------------------

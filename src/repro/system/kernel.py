@@ -133,6 +133,7 @@ class TransitionKernel:
         self.fault_budget = faults.budget if faults is not None else 0
         self.fault_duplicate = bool(faults is not None and faults.duplicate)
         self.fault_reorder = bool(faults is not None and faults.reorder)
+        self.fault_requeue = bool(faults is not None and faults.requeue)
         from repro.system.system import LitmusWorkload
 
         workload = system.workload
@@ -368,9 +369,42 @@ class TransitionKernel:
         cache_rows = self.spec.cache.on_message
         cache_fns = self._cache_fns
         select = self._select
+        bypass = self.fault_offset is not None and self.fault_requeue and self.ordered
         for addr in range(num_addresses):
             items = planes[addr][0]
             d0 = addr * stride + self.dir_offset
+            if bypass:
+                # Re-queue semantics (mirrors the object model's fault-mode
+                # `_delivery_events`): per channel, plan the first record
+                # whose transition does not stall -- stalled heads are
+                # bypassed rather than blocking the channel.
+                for idx, item in enumerate(items):
+                    for pos, rec in enumerate(item[3]):
+                        fn = None
+                        if rec[2] == 1:  # destination is the directory
+                            cands = dir_rows[enc[d0]].get(rec[0])
+                            base = None
+                        else:
+                            base = addr * stride + (rec[2] - 2) * width
+                            cands = cache_rows[enc[base]].get(rec[0])
+                        if cands:
+                            if len(cands) == 1 and cands[0].guard == 0:
+                                ct = cands[0]
+                            else:
+                                ct = select(cands, rec, enc, base, d0)
+                            if ct is not None and ct is not AMBIGUOUS:
+                                if ct.stall:
+                                    continue  # bypass: try the next record
+                                if base is not None:
+                                    fn = cache_fns[id(ct)]
+                        else:
+                            ct = None
+                        eev = (1,) + rec if single else (1,) + rec + (addr,)
+                        plans.append(
+                            (apply_delivery, eev, rec, ct, idx, fn, addr, pos)
+                        )
+                        break
+                continue
             if self.ordered:
                 deliverable = enumerate(item[3][0] for item in items)
             else:
@@ -396,7 +430,7 @@ class TransitionKernel:
                 else:
                     ct = None
                 eev = (1,) + rec if single else (1,) + rec + (addr,)
-                plans.append((apply_delivery, eev, rec, ct, idx, fn, addr))
+                plans.append((apply_delivery, eev, rec, ct, idx, fn, addr, 0))
         fault_lane = self.fault_offset
         if fault_lane is not None and enc[fault_lane] < self.fault_budget:
             if self.fault_duplicate:
@@ -464,6 +498,16 @@ class TransitionKernel:
             owner = enc[d0 + 1]
             is_owner = owner != 0 and rec[1] == owner
             return is_owner if g == 5 else not is_owner
+        if g >= 11:  # owner_is_requestor / owner_not_requestor
+            # rec[5] is requestor+2; the owner lane uses the same +2 encoding,
+            # so equality holds exactly when the carried requestor is owner.
+            # Both guards require a recorded owner; with none, neither
+            # matches and an unguarded default wins.
+            owner = enc[d0 + 1]
+            is_req_owner = bool(rec[4]) and owner != 0 and rec[5] == owner
+            if g == 11:
+                return is_req_owner
+            return owner != 0 and not is_req_owner
         run = enc[d0 + 2 : d0 + 2 + self.num_caches]
         if g <= 8:  # last_sharer / not_last_sharer
             last = run[0] == rec[1] and (self.num_caches == 1 or run[1] == 0)
@@ -527,13 +571,13 @@ class TransitionKernel:
         return tuple(out)
 
     # -- general (plane-aware) apply handlers -------------------------------------
-    def _emit_net_plane(self, out, enc, planes, addr, where, sends):
+    def _emit_net_plane(self, out, enc, planes, addr, where, sends, pos=0):
         """Emit the successor's network sections: earlier planes verbatim,
         plane *addr* through :meth:`_emit_net`, later planes verbatim."""
         items, offsets, start = planes[addr]
         end = start + offsets[-1]
         out.extend(enc[self.net_offset : start])
-        self._emit_net(out, enc, (items, offsets), where, sends, start, end)
+        self._emit_net(out, enc, (items, offsets), where, sends, start, end, pos)
         out.extend(enc[end:])
 
     def _apply_access_plan_general(self, enc: tuple, plan: tuple, planes: tuple):
@@ -587,7 +631,7 @@ class TransitionKernel:
             out[base + CF_STATE] = ct.next_state
             if ct.has_perform:
                 out[base + CF_PENDING] = 0
-        self._emit_net_plane(out, enc, planes, addr, where, sends)
+        self._emit_net_plane(out, enc, planes, addr, where, sends, plan[7])
         return tuple(out)
 
     def _apply_duplicate_plan(self, enc: tuple, plan: tuple, planes: tuple):
@@ -829,11 +873,13 @@ class TransitionKernel:
 
     def _emit_net(
         self, out: list, enc: tuple, net: tuple, where: int | None, sends: list,
-        no: int, end: int,
+        no: int, end: int, pos: int = 0,
     ) -> None:
         """Append the successor network section: the parent's section minus
-        the delivered message (channel/record index *where*) plus *sends*,
-        re-normalized exactly like ``Network.deliver`` + ``Network.send``.
+        the delivered message (record *pos* of channel *where* when ordered
+        -- non-zero only under fault-mode re-queue bypass -- or record index
+        *where* when unordered) plus *sends*, re-normalized exactly like
+        ``Network.deliver`` + ``Network.send``.
 
         The parent section is already normalized (channels sorted, FIFO
         order inside each), so the successor section is a sorted merge with
@@ -867,20 +913,25 @@ class TransitionKernel:
                 out.extend(m)
             return
         if not sends:
-            # Drop the head of channel `where` by lane splicing alone.
+            # Drop record `pos` of channel `where` by lane splicing alone.
             at = no + offsets[where]
             nmsgs = enc[at + 3]
             if nmsgs == 1:
                 out.append(enc[no] - 1)
                 out.extend(enc[no + 1 : at])
-            else:
-                out.append(enc[no])
-                out.extend(enc[no + 1 : at + 3])
-                out.append(nmsgs - 1)
-            out.extend(enc[at + 4 + mw : end])
+                out.extend(enc[at + 4 + mw : end])
+                return
+            rec0 = at + 4 + pos * mw
+            out.append(enc[no])
+            out.extend(enc[no + 1 : at + 3])
+            out.append(nmsgs - 1)
+            out.extend(enc[at + 4 : rec0])
+            out.extend(enc[rec0 + mw : end])
             return
         if len(sends) == 1:
-            self._emit_net_single(out, enc, items, offsets, where, sends[0], no, end)
+            self._emit_net_single(
+                out, enc, items, offsets, where, sends[0], no, end, pos
+            )
             return
         send_map: dict = {}
         for m in sends:
@@ -927,9 +978,9 @@ class TransitionKernel:
                 if idx != where:
                     out.extend(enc[no + offsets[idx] : no + offsets[idx + 1]])
                     continue
-                msgs = item[3][1:]
+                msgs = item[3][:pos] + item[3][pos + 1 :]
             elif idx == where:
-                msgs = item[3][1:] + tuple(extra)
+                msgs = item[3][:pos] + item[3][pos + 1 :] + tuple(extra)
             else:
                 msgs = item[3] + tuple(extra)
             out.extend((item[0], item[1], item[2], len(msgs)))
@@ -946,15 +997,17 @@ class TransitionKernel:
 
     def _emit_net_single(
         self, out: list, enc: tuple, items: list, offsets: tuple,
-        where: int | None, m: tuple, no: int, end: int,
+        where: int | None, m: tuple, no: int, end: int, pos: int = 0,
     ) -> None:
         """One-send ordered specialization of :meth:`_emit_net`.
 
         The vast majority of sending transitions emit exactly one message,
-        and a single send plus (at most) one absorbed head touch at most two
-        channels of an already-sorted section -- so the successor section is
-        the parent's lanes with one or two local edits, emitted as slice
-        copies around them.  Bit-identical to the general merge.
+        and a single send plus (at most) one absorbed record touch at most
+        two channels of an already-sorted section -- so the successor section
+        is the parent's lanes with one or two local edits, emitted as slice
+        copies around them.  Bit-identical to the general merge (*pos* is the
+        absorbed record's index in channel *where*; non-zero only under
+        fault-mode re-queue bypass).
         """
         mw = MESSAGE_ENCODED_WIDTH
         k0, k1, k2 = m[1], m[2], m[3]
@@ -988,8 +1041,8 @@ class TransitionKernel:
         if target is not None:
             at_t = no + offsets[target]
             if target == where:
-                # Head absorbed, send appended: the count is unchanged.
-                edits.append((at_t + 4, mw, ()))
+                # Record absorbed, send appended: the count is unchanged.
+                edits.append((at_t + 4 + pos * mw, mw, ()))
                 edits.append((no + offsets[target + 1], 0, m))
                 where_handled = True
             else:
@@ -1014,7 +1067,8 @@ class TransitionKernel:
                 edits.append((at_w, 4 + mw, ()))
                 nchan -= 1
             else:
-                edits.append((at_w + 3, 1 + mw, (enc[at_w + 3] - 1,)))
+                edits.append((at_w + 3, 1, (enc[at_w + 3] - 1,)))
+                edits.append((at_w + 4 + pos * mw, mw, ()))
         # Plain tuple sort: same-position edits order by skip width, which
         # puts an insertion (skip 0) before a removal at the same lane.
         edits.sort()

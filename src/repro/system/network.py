@@ -42,6 +42,13 @@ class Network:
         """Remove *message* (which must be deliverable) and return the new network."""
         raise NotImplementedError
 
+    def deliver_at(self, message: Message, position: int) -> "Network":
+        """Remove *message* from *position* in its channel (re-queue
+        semantics: a stalled channel head is bypassed, so deliveries may
+        target a message behind it).  Ordered networks only -- the unordered
+        bag has no positions to bypass."""
+        raise ValueError("positional delivery applies to ordered networks only")
+
     def duplicate(self, message: Message) -> "Network":
         """Fault injection: add an extra copy of *message* (which must be
         deliverable) and return the new network."""
@@ -134,6 +141,17 @@ class OrderedNetwork(Network):
         if not queue or queue[0] != message:
             raise ValueError(f"message {message} is not at the head of its channel")
         channels[key] = queue[1:]
+        return self._from_dict(channels)
+
+    def deliver_at(self, message: Message, position: int) -> "OrderedNetwork":
+        channels = self._as_dict()
+        key = (message.src, message.dst, message.vnet)
+        queue = channels.get(key, ())
+        if not (0 <= position < len(queue)) or queue[position] != message:
+            raise ValueError(
+                f"message {message} is not at position {position} of its channel"
+            )
+        channels[key] = queue[:position] + queue[position + 1 :]
         return self._from_dict(channels)
 
     def duplicate(self, message: Message) -> "OrderedNetwork":

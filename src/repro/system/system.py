@@ -222,11 +222,19 @@ class FaultModel:
     enables :class:`ReorderMessage` events (ordered networks only -- an
     unordered network already admits every delivery order).  The budget
     caps the *total* number of injected faults along any one execution,
-    which keeps the fault-augmented state space finite and small."""
+    which keeps the fault-augmented state space finite and small.
+
+    ``requeue`` (default) gives stalled ordered-channel heads re-queue
+    semantics -- deliverable messages behind a stalled head may bypass it,
+    so one adjacent reorder no longer head-of-line-deadlocks the stalling
+    configurations.  ``requeue=False`` restores strict head-of-line
+    blocking, which keeps the original reorder-deadlock counterexamples
+    replayable (see ``tests/verification/test_fault_regressions.py``)."""
 
     duplicate: bool = False
     reorder: bool = False
     budget: int = 1
+    requeue: bool = True
 
     def __post_init__(self):
         if self.budget < 0:
@@ -247,6 +255,7 @@ class System:
         ordered: bool | None = None,
         num_addresses: int | None = None,
         faults: FaultModel | None = None,
+        symmetry: bool = False,
     ):
         if num_caches < 1:
             raise ValueError("need at least one cache")
@@ -273,6 +282,23 @@ class System:
             raise ValueError("need at least one address")
         self.num_addresses = num_addresses
         self.faults = faults
+        # Declaring symmetry intent up front fails fast: the unsupported
+        # combinations are rejected here, at construction, instead of
+        # surfacing from deep inside a verify/random-walk run.
+        if symmetry and num_caches > 1:
+            if isinstance(self.workload, LitmusWorkload):
+                raise ValueError(
+                    "symmetry=True is unsupported with a litmus workload: "
+                    "litmus programs distinguish the caches, so permuting "
+                    "cache IDs is unsound"
+                )
+            if num_addresses > 1:
+                raise ValueError(
+                    f"symmetry=True is unsupported with num_addresses="
+                    f"{num_addresses}: the encoded canonicalizer only "
+                    "handles single-plane layouts"
+                )
+        self.symmetry = symmetry
         if ordered is None:
             ordered = getattr(protocol.source_spec, "ordered_network", True)
         self.ordered = ordered
@@ -480,7 +506,20 @@ class System:
 
     def _delivery_events(self, state: GlobalState) -> Iterable[SystemEvent]:
         for addr in range(self.num_addresses):
-            for message in self._plane_network(state, addr).deliverable():
+            network = self._plane_network(state, addr)
+            if self.faults is not None and self.faults.requeue and network.ordered:
+                # Re-queue semantics under a fault model: a stalled channel
+                # head no longer blocks the channel -- the first deliverable
+                # message behind it may be delivered instead (one candidate
+                # per channel keeps FIFO among the non-stalled messages and
+                # the branching bounded).
+                for _, msgs in network.channels:
+                    for message in msgs:
+                        if self._delivery_enabled(state, message, addr):
+                            yield DeliverMessage(message=message, addr=addr)
+                            break
+                continue
+            for message in network.deliverable():
                 if self._delivery_enabled(state, message, addr):
                     yield DeliverMessage(message=message, addr=addr)
 
@@ -519,6 +558,24 @@ class System:
         if transition is None:
             return True
         return not transition.stall
+
+    def _bypass_position(
+        self, state: GlobalState, network: Network, message: Message, addr: int
+    ) -> int | None:
+        """Position of *message* in its channel under re-queue order.
+
+        The first *enabled* message of a channel is the only one deliverable
+        (stalled messages ahead of it are bypassed); returns ``None`` when
+        *message* is not that first enabled message."""
+        key = (message.src, message.dst, message.vnet)
+        for chan_key, msgs in network.channels:
+            if chan_key != key:
+                continue
+            for position, queued in enumerate(msgs):
+                if self._delivery_enabled(state, queued, addr):
+                    return position if queued == message else None
+            return None
+        return None
 
     def _transition_for_message(
         self, state: GlobalState, message: Message, addr: int = 0
@@ -600,7 +657,17 @@ class System:
         if transition.stall:
             return StepOutcome(state=state, error=f"stalled message {message} was delivered")
 
-        network = self._plane_network(state, addr).deliver(message)
+        network = self._plane_network(state, addr)
+        if self.faults is not None and self.faults.requeue and network.ordered:
+            position = self._bypass_position(state, network, message, addr)
+            if position is None:
+                return StepOutcome(
+                    state=state,
+                    error=f"message {message} is not deliverable under re-queue order",
+                )
+            network = network.deliver_at(message, position)
+        else:
+            network = network.deliver(message)
         if message.dst == DIRECTORY_ID:
             result = execute_directory_transition(
                 transition, self._plane_directory(state, addr), message=message

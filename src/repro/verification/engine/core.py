@@ -359,6 +359,12 @@ def _resolve_kernel(system, kernel, invariant_tuple):
         return None, None
 
 
+def _is_litmus(system: System) -> bool:
+    from repro.system.system import LitmusWorkload
+
+    return isinstance(system.workload, LitmusWorkload)
+
+
 def verify(
     system: System,
     *,
@@ -366,7 +372,7 @@ def verify(
     max_states: int = 2_000_000,
     check_deadlock: bool = True,
     deadlock: bool = False,
-    symmetry: bool = False,
+    symmetry: bool | None = None,
     strategy: object = "bfs",
     processes: int | None = None,
     hash_compaction: bool = False,
@@ -427,10 +433,19 @@ def verify(
         tuple(invariants) if invariants is not None else tuple(default_invariants())
     )
     strat = resolve_strategy(strategy, processes=processes)
+    if symmetry is None:
+        # Symmetry intent declared at System construction (validated there).
+        symmetry = system.symmetry
     if symmetry and system.num_caches > 1 and not system.supports_symmetry:
+        combination = (
+            "a litmus workload (litmus programs distinguish the caches)"
+            if _is_litmus(system)
+            else f"num_addresses={system.num_addresses} (the encoded "
+            "canonicalizer only handles single-plane layouts)"
+        )
         raise ValueError(
-            "symmetry reduction requires a single-address, non-litmus system "
-            "(multi-address planes and litmus programs distinguish the caches)"
+            f"symmetry=True is unsupported with {combination}; construct the "
+            "System with symmetry=True to get this error at construction time"
         )
     perms = (
         system.symmetry_permutations()

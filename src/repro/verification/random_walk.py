@@ -80,6 +80,12 @@ def random_walk(
     if track_coverage:
         seen = set()
         if symmetry and system.num_caches > 1:
+            if not system.supports_symmetry:
+                raise ValueError(
+                    "symmetry=True coverage is unsupported for this system "
+                    "(litmus workloads and num_addresses>1 distinguish the "
+                    "caches); pass symmetry=False to count raw states"
+                )
             perms = system.symmetry_permutations()
 
     def note(state) -> None:

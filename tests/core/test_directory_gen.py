@@ -10,8 +10,12 @@ from repro.dsl.types import RemoveRequestorFromSharers, Send
 class TestMsiDirectory:
     def test_states(self, msi_nonstalling):
         directory = msi_nonstalling.directory
-        assert set(directory.state_names()) == {"I", "S", "M", "S_D"}
+        # M_cap is the hardening pass's captured sibling of M (memory made
+        # current by a stale-Put capture while a handoff was in flight).
+        assert set(directory.state_names()) == {"I", "S", "M", "M_cap", "S_D"}
         assert directory.state("S_D").kind is StateKind.TRANSIENT
+        assert directory.state("M_cap").kind is StateKind.STABLE
+        assert directory.state("M_cap").meta["captured_from"] == "M"
 
     def test_transient_state_from_waiting_transaction(self, msi_nonstalling):
         directory = msi_nonstalling.directory

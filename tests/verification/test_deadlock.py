@@ -15,6 +15,7 @@ from repro.core import GenerationConfig, generate
 from repro.core.fsm import AccessEvent, event_key
 from repro.dsl.types import AccessKind
 from repro.system import System, Workload
+from repro.system.system import DuplicateMessage, FaultModel, IssueAccess
 from repro.verification import verify
 
 
@@ -100,5 +101,86 @@ def test_deadlock_flag_keeps_counts_on_correct_protocols(msi_nonstalling):
     plain = verify(system)
     strict = verify(system, deadlock=True)
     assert plain.ok and strict.ok
-    assert strict.states_explored == plain.states_explored == 1638
+    assert strict.states_explored == plain.states_explored == 1702
     assert strict.transitions_explored == plain.transitions_explored
+
+
+class TestFaultBudgetVsWorkloadDeadlock:
+    """Fault-budget exhaustion must never masquerade as a workload deadlock.
+
+    The classification (``is_quiescent`` / ``is_complete``) depends only on
+    the network and the workload, never on ``faults_used``: a quiescent
+    completed run whose fault budget is burnt (or unspent) is a completed
+    run, and a genuinely wedged workload is still a deadlock when a fault
+    model is attached."""
+
+    @pytest.mark.parametrize(
+        "faults",
+        [
+            FaultModel(duplicate=True),
+            FaultModel(reorder=True),
+            FaultModel(duplicate=True, reorder=True, budget=2),
+        ],
+        ids=["duplicate", "reorder", "both"],
+    )
+    def test_budget_exhausted_quiescence_counts_as_complete(
+        self, msi_stalling, faults
+    ):
+        system = System(msi_stalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1),
+                        faults=faults)
+        compiled = verify(system, deadlock=True)
+        objected = verify(system, deadlock=True, kernel="object")
+        for result in (compiled, objected):
+            assert result.ok and not result.deadlock, result.summary
+            assert result.complete_states > 0
+        assert compiled.states_explored == objected.states_explored
+
+    def test_exhausted_budget_replay_is_complete_not_deadlocked(
+        self, msi_nonstalling
+    ):
+        """Drive one run to quiescence with the whole budget burnt and check
+        the classifier state by state."""
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1,
+                                          access_kinds=(AccessKind.LOAD,)),
+                        faults=FaultModel(duplicate=True))
+
+        def step(state, pred):
+            for event in system.enabled_events(state):
+                if pred(event):
+                    outcome = system.apply(state, event)
+                    assert outcome.error is None, outcome.error
+                    return outcome.state
+            raise AssertionError("expected event not enabled")
+
+        state = system.initial_state()
+        state = step(state, lambda e: isinstance(e, IssueAccess)
+                     and e.cache_id == 0)
+        state = step(state, lambda e: not isinstance(
+            e, (IssueAccess, DuplicateMessage)))
+        # Burn the budget on the directory's Data response, deliver both
+        # copies (the second is absorbed by the hardened cache).
+        state = step(state, lambda e: isinstance(e, DuplicateMessage))
+        assert state.faults_used == 1
+        while not system.is_quiescent(state):
+            state = step(state, lambda e: not isinstance(e, IssueAccess))
+        state = step(state, lambda e: isinstance(e, IssueAccess)
+                     and e.cache_id == 1)
+        while not system.is_quiescent(state):
+            state = step(state, lambda e: True)
+        # Quiescent, workload done, budget exhausted: a completed run.
+        assert state.faults_used == 1
+        assert system.enabled_events(state) == []
+        assert system.is_complete(state)
+
+    def test_wedged_workload_still_deadlocks_under_fault_injection(
+        self, wedged_msi
+    ):
+        system = System(wedged_msi, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2,
+                                          access_kinds=(AccessKind.LOAD,
+                                                        AccessKind.STORE)),
+                        faults=FaultModel(duplicate=True))
+        result = verify(system, deadlock=True)
+        assert not result.ok and result.deadlock

@@ -161,7 +161,7 @@ class TestStrategies:
         # A budget the search never reaches leaves the result complete.
         full = verify(system, max_states=10_000)
         assert full.ok and not full.partial
-        assert full.states_explored == 1638
+        assert full.states_explored == 1702
 
 
 class TestStateStore:
@@ -207,8 +207,8 @@ class TestBackwardCompatibility:
                         workload=Workload(max_accesses_per_cache=2))
         result = verify(system)
         assert result.ok
-        assert result.states_explored == 1638
-        assert result.transitions_explored == 2954
+        assert result.states_explored == 1702
+        assert result.transitions_explored == 3078
         assert not result.symmetry_reduced
 
 

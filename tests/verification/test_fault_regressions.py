@@ -1,9 +1,10 @@
 """Regression: the first counterexamples the fault-injection axes found.
 
 Both traces are verbatim model-checker counterexamples from the first
-fault-augmented searches of the bundled MSI protocol, replayed step by step
-through ``System.apply`` so the failure modes stay pinned as the executors
-evolve:
+fault-augmented searches of the bundled MSI protocol -- measured against
+**un-hardened** builds (``GenerationConfig(harden=False)``), the generation
+mode PR 6 shipped.  They are replayed step by step through ``System.apply``
+so the original bug evidence survives the hardening fix:
 
 * **Duplicated response** (nonstalling MSI): the directory's ``Data``
   response to a ``GetS`` is duplicated in flight.  The first copy completes
@@ -16,10 +17,15 @@ evolve:
   Swapping the two delivers the forward while C1 is still in ``IM_AD``; the
   stalling configuration stalls it, the ``Data`` it needs is queued *behind*
   the stalled message, and the system head-of-line deadlocks.
+
+The hardened replays at the bottom run the *same traces* against the default
+``harden=True`` builds: the duplicate is silently absorbed in stable ``S``,
+the reordered head is re-queued instead of blocking, and both searches PASS.
 """
 
 import pytest
 
+from repro.core import GenerationConfig, generate
 from repro.dsl.types import AccessKind
 from repro.system import System, Workload
 from repro.system.message import Message
@@ -30,6 +36,7 @@ from repro.system.system import (
     IssueAccess,
     ReorderMessage,
 )
+from repro.verification import verify
 
 
 #: Nonstalling MSI, 2 caches x 1 access, FaultModel(duplicate=True): C0's
@@ -61,14 +68,40 @@ REORDERED_FORWARD_TRACE = [
 
 
 @pytest.fixture(scope="module")
-def duplication_system(msi_nonstalling):
+def bare_msi_nonstalling(msi_spec):
+    return generate(msi_spec, GenerationConfig.nonstalling(harden=False))
+
+
+@pytest.fixture(scope="module")
+def bare_msi_stalling(msi_spec):
+    return generate(msi_spec, GenerationConfig.stalling(harden=False))
+
+
+@pytest.fixture(scope="module")
+def duplication_system(bare_msi_nonstalling):
+    return System(bare_msi_nonstalling, num_caches=2,
+                  workload=Workload(max_accesses_per_cache=1),
+                  faults=FaultModel(duplicate=True))
+
+
+@pytest.fixture(scope="module")
+def reorder_system(bare_msi_stalling):
+    # requeue=False restores PR 6's strict head-of-line blocking, the
+    # semantics under which this counterexample deadlocked.
+    return System(bare_msi_stalling, num_caches=2,
+                  workload=Workload(max_accesses_per_cache=2),
+                  faults=FaultModel(reorder=True, requeue=False))
+
+
+@pytest.fixture(scope="module")
+def hardened_duplication_system(msi_nonstalling):
     return System(msi_nonstalling, num_caches=2,
                   workload=Workload(max_accesses_per_cache=1),
                   faults=FaultModel(duplicate=True))
 
 
 @pytest.fixture(scope="module")
-def reorder_system(msi_stalling):
+def hardened_reorder_system(msi_stalling):
     return System(msi_stalling, num_caches=2,
                   workload=Workload(max_accesses_per_cache=2),
                   faults=FaultModel(reorder=True))
@@ -109,8 +142,6 @@ class TestDuplicatedDataCounterexampleReplay:
         assert "cannot handle message" in final.error
 
     def test_search_still_finds_this_class(self, duplication_system):
-        from repro.verification import verify
-
         result = verify(duplication_system)
         assert not result.ok
         assert result.error is not None and "cannot handle message" in result.error
@@ -147,8 +178,50 @@ class TestReorderedForwardCounterexampleReplay:
         assert reorder_system.enabled_events(state) == []
 
     def test_search_reports_the_deadlock(self, reorder_system):
-        from repro.verification import verify
-
         result = verify(reorder_system)
         assert not result.ok and result.deadlock
         assert any(line.startswith("reorder") for line in result.trace)
+
+
+class TestHardenedDuplicationReplay:
+    """The same counterexample trace against the default hardened build."""
+
+    def test_second_copy_is_silently_absorbed_in_stable_s(
+        self, hardened_duplication_system
+    ):
+        system = hardened_duplication_system
+        state = system.initial_state()
+        for event in DUPLICATED_DATA_TRACE:
+            outcome = system.apply(state, event)
+            assert outcome.error is None, f"{event}: {outcome.error}"
+            state = outcome.state
+        assert state.caches[0].fsm_state == "S"
+        final = system.apply(state, DUPLICATED_DATA_FINAL)
+        assert final.error is None
+        # Idempotent no-op: the duplicate changes nothing observable.
+        assert final.state.caches[0].fsm_state == "S"
+        assert final.state.caches == state.caches
+
+    def test_search_passes(self, hardened_duplication_system):
+        result = verify(hardened_duplication_system)
+        assert result.ok, result.summary
+
+
+class TestHardenedReorderReplay:
+    """The same reordered-forward trace against the default hardened build."""
+
+    def test_reordered_state_is_no_longer_stuck(self, hardened_reorder_system):
+        system = hardened_reorder_system
+        state = system.initial_state()
+        for event in REORDERED_FORWARD_TRACE:
+            outcome = system.apply(state, event)
+            assert outcome.error is None, f"{event}: {outcome.error}"
+            state = outcome.state
+        assert state.caches[1].fsm_state == "IM_AD"
+        # Re-queue semantics: the stalled head rotates behind the Data it
+        # chases instead of head-of-line blocking the channel.
+        assert system.enabled_events(state) != []
+
+    def test_search_passes(self, hardened_reorder_system):
+        result = verify(hardened_reorder_system)
+        assert result.ok and not result.deadlock, result.summary

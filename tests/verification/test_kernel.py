@@ -147,8 +147,8 @@ def test_pinned_seed_counts_on_compiled_kernel(msi_nonstalling):
     result = verify(system)
     assert result.kernel == "compiled"
     assert result.ok
-    assert result.states_explored == 1638
-    assert result.transitions_explored == 2954
+    assert result.states_explored == 1702
+    assert result.transitions_explored == 3078
 
 
 @pytest.mark.parametrize("symmetry", [False, True])

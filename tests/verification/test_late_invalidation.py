@@ -133,26 +133,53 @@ class TestGeneratedLateAbsorptions:
         assert len(transitions) == 1
         assert transitions[0].next_state == "IM_AD_S"
 
-    def test_pure_i_provenance_states_keep_the_diagnostic(self, unordered_msi):
+    def test_pure_i_provenance_states_keep_the_diagnostic(self):
         """IM_AD_I (store from I; never a sharer before serialization) can
-        never legally receive an Inv -- the generator must NOT add a blanket
-        absorb there, so the model checker would still flag a directory that
-        sent one."""
-        cache = unordered_msi.cache
-        transitions = [
-            t for t in cache.transitions()
-            if t.state == "IM_AD_I"
-            and isinstance(t.event, MessageEvent) and t.event.message == "Inv"
-        ]
-        assert transitions == []
+        never legally receive an Inv under exactly-once delivery -- with
+        hardening off, the generator must NOT add a blanket absorb there, so
+        the model checker still flags a directory that sent one.  The
+        hardened build covers the cell too (a duplicated Inv can land
+        anywhere), but marks it as generated fault tolerance."""
+        from repro import protocols
+        from repro.core import GenerationConfig, generate
+
+        spec = protocols.load("MSI-Unordered")
+
+        def inv_transitions(protocol):
+            return [
+                t for t in protocol.cache.transitions()
+                if t.state == "IM_AD_I"
+                and isinstance(t.event, MessageEvent) and t.event.message == "Inv"
+            ]
+
+        bare = generate(spec, GenerationConfig.nonstalling(harden=False))
+        assert inv_transitions(bare) == []
+        hardened = generate(spec, GenerationConfig.nonstalling())
+        assert all(t.absorb for t in inv_transitions(hardened))
+        assert inv_transitions(hardened)
 
     def test_ordered_protocols_unchanged(self, all_generated):
         """late_absorbs only activates for unordered-network specs: ordered
-        MSI generates no Inv self-absorptions in redirected states."""
-        cache = all_generated[("MSI", "nonstalling")].cache
+        MSI generates no SSP-level Inv transitions in redirected states --
+        every Inv cell there is a hardening absorption (re-acknowledged so a
+        post-reorder late Inv cannot strand the invalidator's ack count)."""
+        from repro import protocols
+        from repro.core import GenerationConfig, generate
+
+        bare = generate(
+            protocols.load("MSI"), GenerationConfig.nonstalling(harden=False)
+        )
         assert not any(
-            t for t in cache.transitions()
+            t for t in bare.cache.transitions()
             if t.state in ("SM_AD_I", "IM_AD_I")
             and isinstance(t.event, MessageEvent)
             and t.event.message == "Inv"
         )
+        cache = all_generated[("MSI", "nonstalling")].cache
+        hardened = [
+            t for t in cache.transitions()
+            if t.state in ("SM_AD_I", "IM_AD_I")
+            and isinstance(t.event, MessageEvent)
+            and t.event.message == "Inv"
+        ]
+        assert hardened and all(t.absorb for t in hardened)
