@@ -56,9 +56,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="state budget; the search aborts cleanly and "
                              "reports a partial result once reached")
     parser.add_argument("--kernel", default="compiled",
-                        choices=["compiled", "object"],
+                        choices=["compiled", "vectorized", "object"],
                         help="transition backend: the compiled encoded-state "
-                             "kernel (default) or the object executor")
+                             "kernel (default), the batch-vectorized NumPy "
+                             "frontier kernel, or the object executor")
     parser.add_argument("--faults", default="off",
                         choices=["off", "duplicate", "reorder", "both"],
                         help="fault-injection axes: message duplication, "
@@ -80,9 +81,11 @@ def main(argv: list[str] | None = None) -> int:
                              "protocols demonstrably break under "
                              "duplication), skipping the throughput gates")
     parser.add_argument("--compare-kernels", action="store_true",
-                        help="run the same search once per kernel, record "
-                             "both, and fail unless the compiled kernel's "
-                             "throughput is at least the object kernel's")
+                        help="run the same search once per kernel (object, "
+                             "compiled, vectorized), record all three, and "
+                             "fail unless each faster backend actually beats "
+                             "the one below it (compiled >= object, "
+                             "vectorized >= compiled)")
     parser.add_argument("--fail-on-regression", type=float, default=None,
                         metavar="RATIO",
                         help="fail when this run's states/second drops below "
@@ -190,25 +193,40 @@ def main(argv: list[str] | None = None) -> int:
 
     object_result, object_entry, _ = run("object")
     compiled_result, compiled_entry, compiled_baseline = run("compiled")
-    if not (object_result.ok and compiled_result.ok):
+    vectorized_result, vectorized_entry, _ = run("vectorized")
+    if not (object_result.ok and compiled_result.ok and vectorized_result.ok):
         return 1
-    if compiled_result.kernel != "compiled":
-        # The silent object fallback would turn the throughput gate below
-        # into a comparison of two identical backends.
-        print("FAIL: the compiled kernel fell back to the object backend "
-              "on this configuration; the comparison is meaningless")
-        return 1
-    if compiled_result.states_explored != object_result.states_explored:
+    for requested, result in (("compiled", compiled_result),
+                              ("vectorized", vectorized_result)):
+        if result.kernel != requested:
+            # A silent fallback would turn the throughput gates below into
+            # comparisons of identical backends.
+            print(f"FAIL: the {requested} kernel fell back to the "
+                  f"{result.kernel} backend on this configuration; the "
+                  "comparison is meaningless")
+            return 1
+    counts = {r.states_explored
+              for r in (object_result, compiled_result, vectorized_result)}
+    if len(counts) != 1:
         print("FAIL: kernels disagree on the explored state count "
-              f"({compiled_result.states_explored} vs "
-              f"{object_result.states_explored})")
+              f"({object_result.states_explored} object vs "
+              f"{compiled_result.states_explored} compiled vs "
+              f"{vectorized_result.states_explored} vectorized)")
         return 1
     speedup = (compiled_entry["states_per_second"]
                / max(1, object_entry["states_per_second"]))
     print(f"compiled/object throughput: {speedup:.2f}x")
+    batch_speedup = (vectorized_entry["states_per_second"]
+                     / max(1, compiled_entry["states_per_second"]))
+    print(f"vectorized/compiled throughput: {batch_speedup:.2f}x")
     if compiled_entry["states_per_second"] < object_entry["states_per_second"]:
         print("FAIL: the compiled kernel must not be slower than the "
               "object executor")
+        return 1
+    if (vectorized_entry["states_per_second"]
+            < compiled_entry["states_per_second"]):
+        print("FAIL: the vectorized kernel must not be slower than the "
+              "compiled kernel")
         return 1
     return 1 if regressed(compiled_entry, compiled_baseline) else 0
 

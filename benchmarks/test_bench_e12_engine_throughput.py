@@ -28,15 +28,18 @@ from repro.verification import verify
 PROCESSES = 2
 
 #: Measured parallel-vs-serial crossover on the reference workload.  The
-#: persistent-worker pool costs a roughly fixed ~0.2 s on top of the serial
-#: search (fork + per-level IPC + parent absorb, re-measured after the
-#: encoded-symmetry PR thinned the absorb loop to a batch intern); with two
-#: real cores the pool halves the serial compute, so it can only win once
-#: the serial wall-clock clears about twice that overhead.  Below this the
-#: comparison is skipped with a recorded reason instead of flaking -- the
-#: compiled kernel plus the encoded symmetry pipeline made *serial* fast
-#: enough that a sub-second run no longer amortizes the pool.
-PARALLEL_CROSSOVER_SECONDS = 0.8
+#: worker pool now spins up *lazily* -- levels are expanded in-process until
+#: one exceeds ``POOL_SPINUP_FRONTIER`` (2048 states) -- so searches whose
+#: every level stays narrow pay nothing at all (re-measured: a 2c x 2a
+#: reduced search runs the parallel strategy with zero overhead, pool never
+#: forked), and the reference 3c x 2a workload's fixed overhead dropped from
+#: ~0.70 s (eager fork at level 0) to ~0.44 s (fork deferred past the narrow
+#: early levels; both figures time-sharing-inflated on the 1-core reference
+#: container, true 2-core cost roughly half).  With two real cores the pool
+#: halves the post-spin-up compute, so it wins once the serial wall-clock
+#: clears about twice the ~0.2-0.25 s true overhead.  Below this the
+#: comparison is skipped with a recorded reason instead of flaking.
+PARALLEL_CROSSOVER_SECONDS = 0.6
 
 
 def _schedulable_cores() -> int:

@@ -63,6 +63,10 @@ def test_unordered_msi_verification(benchmark, generated):
     )
     deep_full = verify(deep_system)
     deep_reduced = verify(deep_system, symmetry=True)
+    # The batch-vectorized frontier kernel must land on the same pinned
+    # counts on this unordered-network deep run (its hardest parity case:
+    # unordered sections dedupe in-flight multiset permutations).
+    deep_reduced_vec = verify(deep_system, symmetry=True, kernel="vectorized")
     record_run(
         "e9-msi-unordered-3c2a-full", deep_full,
         protocol="MSI-Unordered", config="nonstalling",
@@ -70,6 +74,11 @@ def test_unordered_msi_verification(benchmark, generated):
     )
     record_run(
         "e9-msi-unordered-3c2a-reduced", deep_reduced,
+        protocol="MSI-Unordered", config="nonstalling",
+        num_caches=3, accesses=2, symmetry=True,
+    )
+    record_run(
+        "e9-msi-unordered-3c2a-reduced-vectorized", deep_reduced_vec,
         protocol="MSI-Unordered", config="nonstalling",
         num_caches=3, accesses=2, symmetry=True,
     )
@@ -83,6 +92,7 @@ def test_unordered_msi_verification(benchmark, generated):
     print(f"  3 caches x 2 accesses (repeated-invalidation deep run):")
     print(f"    full    : {deep_full.summary}")
     print(f"    symmetry: {deep_reduced.summary}")
+    print(f"    symmetry, vectorized kernel: {deep_reduced_vec.summary}")
 
     assert result.ok
     assert three_caches.ok
@@ -96,3 +106,8 @@ def test_unordered_msi_verification(benchmark, generated):
     assert deep_full.states_explored == DEEP_FULL_STATES
     assert deep_reduced.states_explored == DEEP_REDUCED_STATES
     assert deep_full.states_explored / deep_reduced.states_explored > 5.5
+    assert deep_reduced_vec.ok, deep_reduced_vec.summary
+    assert deep_reduced_vec.kernel == "vectorized"
+    assert deep_reduced_vec.states_explored == DEEP_REDUCED_STATES
+    assert (deep_reduced_vec.transitions_explored
+            == deep_reduced.transitions_explored)

@@ -432,6 +432,141 @@ class CompiledSpec:
     mtype_vnet: tuple[int, ...]
 
 
+# -- lane-op descriptors --------------------------------------------------------
+#
+# Symbolic lane fields a compiled transition may read or write, expressed in
+# layout-independent terms (the codec/kernel map them to absolute lane
+# offsets).  The batch-vectorized kernel uses these descriptors to *prove*
+# that a transition's effect is confined to its own controller block plus the
+# shared version lane -- the soundness condition for reusing one computed
+# block delta across every frontier row that shares the (message, block)
+# key.  A transition whose opcode list strays outside this catalog is
+# reported rather than silently mis-batched.
+
+#: Cache-block fields (relative to the cache block) plus the shared lanes.
+FIELD_STATE = "state"
+FIELD_ISSUED = "issued"
+FIELD_DATA = "data"
+FIELD_ACKS_EXPECTED = "acks_expected"
+FIELD_ACKS_RECEIVED = "acks_received"
+FIELD_SAVED = "saved"              # saved-requestor slots (arg = slot index)
+FIELD_PENDING = "pending"
+FIELD_LAST_OBSERVED = "last_observed"
+FIELD_VERSION = "version"          # the shared latest_version lane
+#: Directory-block fields.
+FIELD_DIR_STATE = "dir_state"
+FIELD_OWNER = "owner"
+FIELD_SHARERS = "sharers"
+FIELD_MEMORY = "memory"
+#: Pseudo-field: the transition appends message records to the network.
+FIELD_SENDS = "sends"
+
+
+@dataclass(frozen=True)
+class TransitionLaneOps:
+    """Lane-level read/write footprint of one :class:`CompiledTransition`.
+
+    ``reads``/``writes`` are frozensets of the ``FIELD_*`` names above;
+    ``sends`` counts the maximum message records the transition can append
+    (``-1`` for a sharer fan-out, whose width depends on the directory
+    state); ``may_abort`` marks transitions with a data/requestor
+    precondition that can route to the object-executor slow path.
+    """
+
+    reads: frozenset
+    writes: frozenset
+    sends: int
+    may_abort: bool
+
+
+#: Per-opcode (reads, writes, sends, may_abort) contributions, cache side.
+_CACHE_OP_FOOTPRINT = {
+    OP_COPY_DATA: ((), (FIELD_DATA,), 0, True),
+    OP_INVALIDATE_DATA: ((), (FIELD_DATA,), 0, False),
+    OP_SET_ACKS_FROM_MSG: ((), (FIELD_ACKS_EXPECTED,), 0, False),
+    OP_INC_ACKS: ((FIELD_ACKS_RECEIVED,), (FIELD_ACKS_RECEIVED,), 0, False),
+    OP_RESET_ACKS: ((), (FIELD_ACKS_EXPECTED, FIELD_ACKS_RECEIVED), 0, False),
+    OP_SAVE_REQUESTOR: ((), (FIELD_SAVED,), 0, False),
+    OP_PERFORM_ACCESS: (
+        (FIELD_DATA, FIELD_LAST_OBSERVED, FIELD_VERSION),
+        (FIELD_DATA, FIELD_LAST_OBSERVED, FIELD_VERSION),
+        0,
+        True,
+    ),
+}
+
+#: Directory-side opcode footprints (sends handled separately).
+_DIR_OP_FOOTPRINT = {
+    OP_WRITE_MEMORY: ((), (FIELD_MEMORY,), 0, True),
+    OP_SET_OWNER_REQ: ((), (FIELD_OWNER,), 0, False),
+    OP_CLEAR_OWNER: ((), (FIELD_OWNER,), 0, False),
+    OP_ADD_REQ_SHARER: ((FIELD_SHARERS,), (FIELD_SHARERS,), 0, True),
+    OP_ADD_OWNER_SHARER: ((FIELD_OWNER, FIELD_SHARERS), (FIELD_SHARERS,), 0, False),
+    OP_RM_REQ_SHARER: ((FIELD_SHARERS,), (FIELD_SHARERS,), 0, False),
+    OP_CLEAR_SHARERS: ((), (FIELD_SHARERS,), 0, False),
+}
+
+
+def transition_lane_ops(ct: CompiledTransition, *, is_cache: bool) -> TransitionLaneOps:
+    """The :class:`TransitionLaneOps` descriptor for *ct*.
+
+    Derived from the opcode tuples alone; raises
+    :class:`CompilationUnsupported` for an opcode outside the known catalog
+    (so a future opcode cannot be silently treated as block-confined).
+    """
+    reads: set = set()
+    writes: set = {FIELD_STATE if is_cache else FIELD_DIR_STATE}
+    sends = 0
+    may_abort = False
+    for op in ct.ops:
+        code = op[0]
+        if is_cache and code == OP_SEND:
+            _, _mt, _vnet, dest, _arg, from_slot, with_data = op
+            if dest == DEST_SAVED_SLOT or from_slot is not None:
+                reads.add(FIELD_SAVED)
+                may_abort = True
+            if dest == DEST_REQUESTOR:
+                may_abort = True
+            if with_data:
+                reads.add(FIELD_DATA)
+            sends += 1
+            continue
+        if not is_cache and code == OP_DIR_SEND:
+            _, _mt, _vnet, dest, with_data, with_ack = op
+            if with_data:
+                reads.add(FIELD_MEMORY)
+            if with_ack or dest == DEST_SHARERS:
+                reads.add(FIELD_SHARERS)
+            if dest == DEST_OWNER:
+                reads.add(FIELD_OWNER)
+                may_abort = True
+            if dest == DEST_REQUESTOR:
+                may_abort = True
+            sends = -1 if (sends == -1 or dest == DEST_SHARERS) else sends + 1
+            continue
+        footprint = (_CACHE_OP_FOOTPRINT if is_cache else _DIR_OP_FOOTPRINT).get(code)
+        if footprint is None:
+            raise CompilationUnsupported(
+                f"opcode {code} has no lane-op descriptor "
+                f"({'cache' if is_cache else 'directory'} transition)"
+            )
+        op_reads, op_writes, op_sends, op_abort = footprint
+        reads.update(op_reads)
+        writes.update(op_writes)
+        sends += op_sends
+        may_abort = may_abort or op_abort
+    if is_cache and ct.has_perform:
+        writes.add(FIELD_PENDING)
+    if sends:
+        writes.add(FIELD_SENDS)
+    return TransitionLaneOps(
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        sends=sends,
+        may_abort=may_abort,
+    )
+
+
 def _compile_actions(
     transition: FsmTransition,
     *,

@@ -6,6 +6,7 @@ from repro.system.message import DIRECTORY_ID, Message
 from repro.system.network import Network, OrderedNetwork, UnorderedNetwork, make_network
 from repro.system.node_state import CacheNodeState, DirectoryNodeState
 from repro.system.executor import Observation, ProtocolRuntimeError
+from repro.system.vectorized import VectorizedKernel, VectorizedUnavailable
 from repro.system.system import (
     DeliverMessage,
     DuplicateMessage,
@@ -42,6 +43,8 @@ __all__ = [
     "SystemEvent",
     "TransitionKernel",
     "UnorderedNetwork",
+    "VectorizedKernel",
+    "VectorizedUnavailable",
     "Workload",
     "make_network",
 ]

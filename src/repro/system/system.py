@@ -308,6 +308,7 @@ class System:
             self._request_names = set()
         self._codec = None
         self._kernel = None
+        self._vkernel = None
 
     @property
     def supports_symmetry(self) -> bool:
@@ -356,6 +357,24 @@ class System:
 
             self._kernel = TransitionKernel(self)
         return self._kernel
+
+    def vectorized_kernel(self):
+        """The :class:`~repro.system.vectorized.VectorizedKernel` for this
+        configuration (built lazily, cached like the codec; wraps and caches
+        :meth:`kernel`).
+
+        Raises :class:`repro.system.vectorized.VectorizedUnavailable` when
+        NumPy is not installed, and propagates
+        :class:`repro.core.fsm.CompilationUnsupported` from the underlying
+        compiled kernel.  A returned kernel may still have
+        ``supported=False`` (fault models, litmus workloads, multi-address
+        planes): the search then falls back to the compiled kernel.
+        """
+        if self._vkernel is None:
+            from repro.system.vectorized import VectorizedKernel
+
+            self._vkernel = VectorizedKernel(self)
+        return self._vkernel
 
     def _tag(self, sends: tuple[Message, ...]) -> tuple[Message, ...]:
         """Assign each outgoing message to its virtual network (0 = requests).

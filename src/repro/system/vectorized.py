@@ -1,0 +1,565 @@
+"""Batch-vectorized frontier expansion: the NumPy lane-matrix kernel.
+
+The compiled kernel (:mod:`repro.system.kernel`) already runs on flat int
+tuples, but it still pays one Python dispatch per state per transition --
+the measured ~11-12 us/transition bound of ROADMAP direction 1.  This module
+shifts the unit of work from *one state* to *one frontier level*: states
+become rows of a 2-D NumPy lane matrix, and expansion becomes batch
+gather / mask / scatter operations plus per-distinct-input Python work that
+is shared across every row it applies to.
+
+The design splits an encoding at the network boundary:
+
+* the **fixed-width prefix** (cache blocks, directory block, latest
+  version -- ``codec.layout()["net_offset"]`` lanes) lives in the matrix;
+* the **variable-width network section** is hash-consed into a side table
+  of section IDs, so each row is ``(prefix lanes..., section id)`` and the
+  matrix stays rectangular.
+
+Expansion then exploits the locality the lane-op descriptors
+(:func:`repro.core.fsm.transition_lane_ops`) prove: a compiled transition
+reads and writes nothing outside *its controller's block*, the shared
+version lane, the delivered message, and the network section.  Its effect
+is therefore a pure function of a small key -- ``(message, receiver block,
+version)`` for deliveries, ``(cache id, block, version)`` for accesses,
+``(section id, delivered slot, sends)`` for the network splice -- and those
+keys recur across far more rows than they have distinct values.  Each
+distinct key is evaluated **once**, by running the existing per-transition
+specialized function (:meth:`TransitionKernel._compile_cache_fn` /
+``_compile_directory_fn``) on a representative row and diffing -- exact by
+construction -- and the resulting lane delta is scattered into every
+matching row of the successor matrix with NumPy fancy indexing.  Raw
+successors then dedup **vectorized**: one ``np.unique`` over the packed row
+bytes (+ section-ID column) per level replaces per-successor set probes.
+
+The compiled interpreter stays on as the differential oracle and the
+fallback: any plan the batch path cannot express (unexpected message,
+ambiguous guards, missing data/requestor -- anything the compiled kernel
+itself would route to the object executor) flips its whole frontier level
+to the per-state compiled loop, preserving the exact serial failure order;
+fault models, multi-address planes and litmus workloads fall back
+whole-search (``VectorizedKernel.supported`` is False).  The fault-free
+single-address hot path never leaves the batch loop -- pinned as zero
+fallback transitions and zero object decodes in the engine tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.fsm import (
+    CompilationUnsupported,
+    transition_lane_ops,
+)
+from repro.system.kernel import (
+    AMBIGUOUS,
+    CF_PENDING,
+    CF_STATE,
+    TransitionKernel,
+)
+
+try:  # NumPy is an optional dependency of the engine (requirements-dev).
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
+
+class VectorizedUnavailable(RuntimeError):
+    """``kernel="vectorized"`` was requested but NumPy is not installed."""
+
+
+#: Memo outcome: this plan must take the compiled/object slow path.
+_FALLBACK = object()
+#: Memo probe miss sentinel (distinguishes from the ``None`` = stalled entry).
+_MISS = object()
+
+#: Bound on the per-kernel outcome/tail memos (cleared when hit, like the
+#: codec's component memos -- correctness never depends on a memo hit).
+_MEMO_LIMIT = 1 << 20
+
+
+class LevelExpansion:
+    """One collected frontier level, ready for matrix assembly.
+
+    Parallel per-successor arrays (``parent_pos``/``eevs``/``sids`` plus the
+    flat scatter triple) in exact serial plan order; ``leaves`` are the
+    zero-plan rows and ``fallbacks`` the row positions that need the
+    compiled per-state path (non-empty ``fallbacks`` invalidates the
+    collected successors -- the driver re-runs the level serially).  A leaf
+    records the number of successors collected before it, which totally
+    orders leaves against successors: leaf ``(k, ...)`` precedes successor
+    index ``u`` exactly when ``k <= u``, so failure detection replays in
+    exact serial stream order without per-successor sequence bookkeeping.
+    """
+
+    __slots__ = (
+        "parent_pos", "eevs", "sids",
+        "flat_cols", "flat_vals", "lens", "leaves", "fallbacks",
+    )
+
+    def __init__(self):
+        self.parent_pos: list[int] = []   # parent row index per successor
+        self.eevs: list[tuple] = []       # encoded event per successor
+        self.sids: list[int] = []         # successor network-section ID
+        self.flat_cols: list[int] = []    # scatter columns, flattened
+        self.flat_vals: list[int] = []    # scatter values, flattened
+        self.lens: list[int] = []         # delta width per successor
+        self.leaves: list[tuple] = []     # (successors_before, state_id, row_pos)
+        self.fallbacks: list[int] = []    # row positions needing slow path
+
+    @property
+    def transitions(self) -> int:
+        return len(self.parent_pos)
+
+
+class VectorizedKernel:
+    """Frontier-batch expansion over a NumPy lane matrix.
+
+    Wraps a system's :class:`TransitionKernel` (the lowering input and the
+    oracle for memo misses) and its codec.  Construction requires NumPy
+    (:class:`VectorizedUnavailable` otherwise); ``supported`` reports
+    whether this configuration can run the batch path at all -- fault
+    models, litmus workloads, multi-address planes and any transition whose
+    lane-op descriptor is not block-confined make the whole search fall
+    back to the compiled kernel.
+    """
+
+    def __init__(self, system):
+        if _np is None:
+            raise VectorizedUnavailable(
+                "kernel=\"vectorized\" requires numpy, which is not "
+                "installed (pip install numpy, or see requirements-dev.txt); "
+                "verify() falls back to the compiled kernel without it"
+            )
+        self.np = _np
+        self.system = system
+        self.kernel: TransitionKernel = system.kernel()
+        self.codec = codec = system.codec()
+        layout = codec.layout()
+        self.num_caches = layout["num_caches"]
+        self.cache_width = layout["cache_width"]
+        self.dir_offset = layout["dir_offset"]
+        self.version_offset = layout["version_offset"]
+        self.net_offset = layout["net_offset"]
+        self.dtype = _np.dtype(layout["numpy_dtype"])
+        self.supported = self.kernel._simple and self._lane_ops_confined()
+        # Hash-consed network sections: tail tuple <-> dense section ID.
+        self._section_ids: dict[tuple, int] = {}
+        # Per-ID (tail, fake_enc, net_handle, deliveries, packed_tail).
+        self._section_info: list[tuple] = []
+        self._zero_prefix = (0,) * self.net_offset
+        # Hot-loop key compression: guard-lane slices (cache block + version,
+        # directory block), message records and send lists are interned to
+        # dense small ints at first sight, so every memo probe on the
+        # per-row path hashes a tuple of 2-3 machine ints instead of 10-20
+        # lane values.  Guard interning itself is vectorized: one
+        # ``np.unique`` per cache per level maps every row to its guard ID
+        # and access-outcome tuple (computed once per distinct guard through
+        # the compiled per-transition functions).  The tables are unbounded
+        # but tiny -- they key on *distinct component values*, which
+        # saturate early -- and IDs stay valid across memo clears.
+        self._guard_tables: list[dict] = [{} for _ in range(self.num_caches)]
+        self._dir_table: dict[bytes, int] = {}
+        self._next_gid = 0
+        self._rec_ids: dict[tuple, int] = {}
+        self._sends_ids: dict[tuple, int] = {(): 0}
+        # Outcome memos (see class docstring): distinct keys are evaluated
+        # once through the compiled per-transition functions.
+        self._deliv_memo: dict[tuple, object] = {}
+        self._tail_memo: dict[tuple, int] = {}
+        # Batch canonicalization side table: raw region bytes -> orbit
+        # record (:meth:`EncodedCanonicalizer.orbit_for`).  Region orbits
+        # are classified once per distinct cache-block region, found in
+        # bulk by the driver's per-level ``np.unique`` over the successor
+        # matrix.  Sound because ``verify`` only ever canonicalizes with
+        # the system's full symmetric group (records are perm-set pure).
+        self._region_orbits: dict[bytes, tuple] = {}
+
+    def _lane_ops_confined(self) -> bool:
+        """Every compiled transition's footprint fits the batch model.
+
+        The lane-op descriptors are the soundness proof for delta reuse: a
+        transition reading or writing outside the known field catalog would
+        make the memo keys incomplete, so it must force the whole-search
+        fallback rather than be silently mis-batched.
+        """
+        spec = self.kernel.spec
+        try:
+            for row in spec.cache.on_access:
+                for ct in row:
+                    if ct is not None:
+                        transition_lane_ops(ct, is_cache=True)
+            for row in spec.cache.on_message:
+                for cands in row.values():
+                    for ct in cands:
+                        transition_lane_ops(ct, is_cache=True)
+            for row in spec.directory.on_message:
+                for cands in row.values():
+                    for ct in cands:
+                        transition_lane_ops(ct, is_cache=False)
+        except CompilationUnsupported:
+            return False
+        return True
+
+    # -- network-section interning -------------------------------------------------
+    def intern_section(self, tail: tuple) -> int:
+        """Dense ID for a network-section lane tuple (hash-consed)."""
+        sid = self._section_ids.get(tail)
+        if sid is None:
+            sid = len(self._section_info)
+            self._section_ids[tail] = sid
+            fake_enc = self._zero_prefix + tail
+            net = self.codec.parsed_network(fake_enc)
+            items = net[0]
+            if self.kernel.ordered:
+                pairs = [(idx, item[3][0]) for idx, item in enumerate(items)]
+            else:
+                pairs = list(self.kernel._deduped_records(items))
+            rec_ids = self._rec_ids
+            deliveries = []
+            for where, rec in pairs:
+                rid = rec_ids.get(rec)
+                if rid is None:
+                    rid = rec_ids[rec] = len(rec_ids)
+                deliveries.append((where, rec, rid))
+            self._section_info.append(
+                (tail, fake_enc, net, tuple(deliveries), self.codec.pack_tail(tail))
+            )
+        return sid
+
+    def section_tail(self, sid: int) -> tuple:
+        return self._section_info[sid][0]
+
+    def section_packed(self, sid: int) -> bytes:
+        return self._section_info[sid][4]
+
+    # -- level collection ----------------------------------------------------------
+    def _guard_ids_level(self, F):
+        """Vectorized guard interning for one frontier matrix.
+
+        One ``np.unique`` per cache maps every row to its guard ID (a dense
+        int naming the distinct ``(cache block, version)`` slice) and its
+        access-outcome tuple; one more handles the directory block.  Memo
+        misses -- the only place transition code actually runs -- evaluate
+        the compiled per-transition functions on the first row carrying the
+        guard as the representative.  Returns ``(acc_rows, gid_rows,
+        dgid_rows)``: per-cache outcome/ID lists indexed by row position,
+        plus the per-row directory guard IDs.
+        """
+        np = self.np
+        width = self.cache_width
+        vo = self.version_offset
+        d0 = self.dir_offset
+        nrows = F.shape[0]
+        itemsize = F.dtype.itemsize
+        acc_rows = []
+        gid_rows = []
+        for cid in range(self.num_caches):
+            base = cid * width
+            gsub = np.empty((nrows, width + 1), dtype=F.dtype)
+            gsub[:, :width] = F[:, base : base + width]
+            gsub[:, width] = F[:, vo]
+            gb = gsub.view(np.dtype((np.void, (width + 1) * itemsize))).ravel()
+            uniq, first, inv = np.unique(
+                gb, return_index=True, return_inverse=True
+            )
+            table = self._guard_tables[cid]
+            pairs = []
+            for vb, fi in zip(uniq, first.tolist()):
+                key = vb.tobytes()
+                pair = table.get(key)
+                if pair is None:
+                    prefix = tuple(F[fi].tolist())
+                    gid = self._next_gid
+                    self._next_gid = gid + 1
+                    pair = table[key] = (gid, self._compute_access(cid, prefix))
+                pairs.append(pair)
+            inv_list = inv.tolist()
+            gid_rows.append([pairs[k][0] for k in inv_list])
+            acc_rows.append([pairs[k][1] for k in inv_list])
+        dsub = np.ascontiguousarray(F[:, d0:vo])
+        db = dsub.view(np.dtype((np.void, (vo - d0) * itemsize))).ravel()
+        uniq, _first, inv = np.unique(db, return_index=True, return_inverse=True)
+        dtable = self._dir_table
+        dgids = []
+        for vb in uniq:
+            key = vb.tobytes()
+            dgid = dtable.get(key)
+            if dgid is None:
+                dgid = dtable[key] = len(dtable)
+            dgids.append(dgid)
+        dgid_rows = [dgids[k] for k in inv.tolist()]
+        return acc_rows, gid_rows, dgid_rows
+
+    def collect_level(self, ids: list, F, sids: list) -> LevelExpansion:
+        """Enumerate every row's plans in exact serial order via memo probes.
+
+        Guard lanes are interned in bulk (:meth:`_guard_ids_level`), so the
+        per-row loop -- the batch path's only per-row Python code -- touches
+        nothing but small-int list lookups and small-int-tuple memo probes
+        while emitting flat successor/delta arrays for :meth:`assemble`.
+        """
+        n = self.num_caches
+        width = self.cache_width
+        deliv_memo = self._deliv_memo
+        tail_memo = self._tail_memo
+        section_info = self._section_info
+        acc_rows, gid_rows, dgid_rows = self._guard_ids_level(F)
+        level = LevelExpansion()
+        parent_pos = level.parent_pos
+        eevs = level.eevs
+        out_sids = level.sids
+        flat_cols = level.flat_cols
+        flat_vals = level.flat_vals
+        lens = level.lens
+        nrows = F.shape[0]
+        for pos in range(nrows):
+            succ_start = len(parent_pos)
+            flat_start = len(flat_cols)
+            fallback = False
+            sid = sids[pos]
+            row_prefix = None  # built lazily, only on a delivery-memo miss
+            for cid in range(n):
+                for out in acc_rows[cid][pos]:
+                    if out is _FALLBACK:
+                        fallback = True
+                        break
+                    eev, cols, vals, nlanes, sends, sends_id = out
+                    if sends_id:
+                        tkey = (sid, -1, sends_id)
+                        sid2 = tail_memo.get(tkey)
+                        if sid2 is None:
+                            sid2 = self._emit_tail(sid, None, sends, tkey)
+                    else:
+                        sid2 = sid  # no sends, nothing delivered: same section
+                    parent_pos.append(pos)
+                    eevs.append(eev)
+                    out_sids.append(sid2)
+                    flat_cols.extend(cols)
+                    flat_vals.extend(vals)
+                    lens.append(nlanes)
+                if fallback:
+                    break
+            if not fallback:
+                for where, rec, rec_id in section_info[sid][3]:
+                    dst = rec[2]
+                    if dst == 1:
+                        dkey = (rec_id, -1, dgid_rows[pos])
+                        out = deliv_memo.get(dkey, _MISS)
+                        if out is _MISS:
+                            if row_prefix is None:
+                                row_prefix = tuple(F[pos].tolist())
+                            out = self._compute_delivery(
+                                rec, None, None, row_prefix, dkey
+                            )
+                    else:
+                        cid = dst - 2
+                        dkey = (rec_id, cid, gid_rows[cid][pos])
+                        out = deliv_memo.get(dkey, _MISS)
+                        if out is _MISS:
+                            if row_prefix is None:
+                                row_prefix = tuple(F[pos].tolist())
+                            out = self._compute_delivery(
+                                rec, cid * width, cid, row_prefix, dkey
+                            )
+                    if out is None:  # stalled delivery: not an enabled plan
+                        continue
+                    if out is _FALLBACK:
+                        fallback = True
+                        break
+                    eev, cols, vals, nlanes, sends, sends_id = out
+                    tkey = (sid, where, sends_id)
+                    sid2 = tail_memo.get(tkey)
+                    if sid2 is None:
+                        sid2 = self._emit_tail(sid, where, sends, tkey)
+                    parent_pos.append(pos)
+                    eevs.append(eev)
+                    out_sids.append(sid2)
+                    flat_cols.extend(cols)
+                    flat_vals.extend(vals)
+                    lens.append(nlanes)
+            if fallback:
+                # Invalidate the row's collected successors; the driver
+                # replays the whole level through the compiled per-state
+                # loop to preserve exact serial failure order.
+                del parent_pos[succ_start:]
+                del eevs[succ_start:]
+                del out_sids[succ_start:]
+                del flat_cols[flat_start:]
+                del flat_vals[flat_start:]
+                del lens[succ_start:]
+                level.fallbacks.append(pos)
+                continue
+            if len(parent_pos) == succ_start:
+                level.leaves.append((succ_start, ids[pos], pos))
+        return level
+
+    def assemble(self, F, level: LevelExpansion):
+        """Build the successor lane matrix and dedup it, all vectorized.
+
+        ``gather`` (parent rows fan out to successor rows via fancy
+        indexing), ``scatter`` (every collected lane delta lands in one
+        flat indexed assignment), ``dedup`` (one ``np.unique`` over the
+        packed row bytes + section-ID lanes).  Returns ``(M, order)``: the
+        widened successor matrix (prefix lanes plus section-ID lanes, so a
+        row's bytes key the whole raw successor) and the indices of the
+        distinct raw successors in first-occurrence (serial stream) order.
+        """
+        np = self.np
+        S = F[np.asarray(level.parent_pos, dtype=np.intp)]
+        if level.flat_cols:
+            rows = np.repeat(
+                np.arange(len(level.lens), dtype=np.intp),
+                np.asarray(level.lens, dtype=np.intp),
+            )
+            S[rows, np.asarray(level.flat_cols, dtype=np.intp)] = np.asarray(
+                level.flat_vals, dtype=self.dtype
+            )
+        # Widen each row with its successor section ID (split across lanes
+        # when the lane dtype is narrower than 32 bits) so one void view of
+        # the row bytes keys the whole raw successor -- prefix and tail.
+        itemsize = S.dtype.itemsize
+        extra = max(1, 4 // itemsize)
+        sid_arr = np.asarray(level.sids, dtype=np.uint64)
+        M = np.empty((S.shape[0], S.shape[1] + extra), dtype=S.dtype)
+        M[:, : S.shape[1]] = S
+        if extra == 1:
+            M[:, -1] = sid_arr.astype(S.dtype)
+        else:
+            M[:, -2] = (sid_arr >> 16).astype(S.dtype)
+            M[:, -1] = (sid_arr & 0xFFFF).astype(S.dtype)
+        row_bytes = np.ascontiguousarray(M).view(
+            np.dtype((np.void, M.shape[1] * itemsize))
+        ).ravel()
+        _, first = np.unique(row_bytes, return_index=True)
+        first.sort()
+        return M, first
+
+    # -- memo-miss evaluation (the only transition code on the batch path) ---------
+    def _confined_delta(self, prefix: tuple, out: list, base):
+        """Changed-lane delta, verified confined to the expected block.
+
+        *base* is the cache-block offset (allowed lanes: the block plus the
+        version lane) or ``None`` for the directory (allowed lanes: the
+        directory block).  A write outside the allowance would make the
+        memo key unsound, so it routes to the fallback instead.
+        """
+        cols = []
+        vals = []
+        for lane, (old, new) in enumerate(zip(prefix, out)):
+            if old != new:
+                cols.append(lane)
+                vals.append(new)
+        if base is None:
+            lo, hi = self.dir_offset, self.version_offset
+            for lane in cols:
+                if not lo <= lane < hi:
+                    return None
+        else:
+            hi = base + self.cache_width
+            vo = self.version_offset
+            for lane in cols:
+                if not (base <= lane < hi or lane == vo):
+                    return None
+        return (tuple(cols), tuple(vals))
+
+    def _intern_sends(self, sends: tuple) -> int:
+        """Dense integer ID for an outbound-message tuple (``() -> 0``)."""
+        sends_id = self._sends_ids.get(sends)
+        if sends_id is None:
+            sends_id = self._sends_ids[sends] = len(self._sends_ids)
+        return sends_id
+
+    def _compute_access(self, cid: int, prefix: tuple) -> tuple:
+        """All access outcomes for one distinct cache guard slice; computed
+        once per guard ID and stored in the guard table by the caller."""
+        k = self.kernel
+        base = cid * self.cache_width
+        si = prefix[base + CF_STATE]
+        if prefix[base + 1] >= k.max_accesses or not k.spec.cache.stable[si]:
+            return ()  # CF_ISSUED budget spent / transient: no plans
+        acc = []
+        for ai, ct, fn in k._access_plans[si]:
+            out = list(prefix)
+            out[base + 1] += 1          # CF_ISSUED
+            out[base + CF_PENDING] = ai + 1
+            sends: list = []
+            if fn is not None and not fn(out, base, cid, None, ai, sends):
+                acc.append(_FALLBACK)
+                continue
+            out[base + CF_STATE] = ct.next_state
+            if ct.has_perform:
+                out[base + CF_PENDING] = 0
+            delta = self._confined_delta(prefix, out, base)
+            if delta is None:
+                acc.append(_FALLBACK)
+                continue
+            cols, vals = delta
+            s = tuple(sends)
+            acc.append(
+                ((0, cid, ai), cols, vals, len(cols), s, self._intern_sends(s))
+            )
+        return tuple(acc)
+
+    def _compute_delivery(self, rec: tuple, base, cid, prefix: tuple, dkey: tuple):
+        """Outcome for one delivery key; mirrors ``TransitionKernel.enabled``
+        + ``apply`` for a single plan, minus the network splice (which is
+        keyed separately on the section).  Stores into the memo itself."""
+        k = self.kernel
+        if base is None:  # directory delivery
+            cands = k.spec.directory.on_message[prefix[self.dir_offset]].get(rec[0])
+        else:
+            cands = k.spec.cache.on_message[prefix[base + CF_STATE]].get(rec[0])
+        outcome = self._delivery_outcome(k, rec, base, cid, prefix, cands)
+        if len(self._deliv_memo) >= _MEMO_LIMIT:
+            self._deliv_memo.clear()
+        self._deliv_memo[dkey] = outcome
+        return outcome
+
+    def _delivery_outcome(self, k, rec, base, cid, prefix, cands):
+        if not cands:
+            return _FALLBACK  # unexpected message -> object-executor error
+        if len(cands) == 1 and cands[0].guard == 0:
+            ct = cands[0]
+        else:
+            ct = k._select(cands, rec, prefix, base, self.dir_offset)
+        if ct is None or ct is AMBIGUOUS:
+            return _FALLBACK
+        if ct.stall:
+            return None
+        out = list(prefix)
+        sends: list = []
+        if base is None:
+            if not k._dir_fns[id(ct)](out, rec, sends):
+                return _FALLBACK
+        else:
+            pending = out[base + CF_PENDING]
+            ai = pending - 1 if pending else None
+            fn = k._cache_fns[id(ct)]
+            if fn is not None and not fn(out, base, cid, rec, ai, sends):
+                return _FALLBACK
+            out[base + CF_STATE] = ct.next_state
+            if ct.has_perform:
+                out[base + CF_PENDING] = 0
+        delta = self._confined_delta(prefix, out, base)
+        if delta is None:
+            return _FALLBACK
+        cols, vals = delta
+        s = tuple(sends)
+        return ((1,) + rec, cols, vals, len(cols), s, self._intern_sends(s))
+
+    def _emit_tail(self, sid: int, where, sends: tuple, tkey: tuple) -> int:
+        """Successor section ID for ``(section, delivered slot, sends id)``,
+        via the compiled kernel's exact re-normalization."""
+        _tail, fake_enc, net, _deliv, _packed = self._section_info[sid]
+        out: list = []
+        self.kernel._emit_net(
+            out, fake_enc, net, where, list(sends),
+            self.net_offset, len(fake_enc),
+        )
+        sid2 = self.intern_section(tuple(out))
+        if len(self._tail_memo) >= _MEMO_LIMIT:
+            self._tail_memo.clear()
+        self._tail_memo[tkey] = sid2
+        return sid2
+
+
+__all__ = ["VectorizedKernel", "VectorizedUnavailable", "LevelExpansion"]

@@ -136,6 +136,7 @@ class Exploration:
         kernel=None,
         kernel_codes: tuple[str, ...] | None = None,
         check_workload_deadlock: bool = False,
+        vkernel=None,
     ):
         self.system = system
         self.codec = system.codec()
@@ -153,6 +154,21 @@ class Exploration:
         #: Report quiescent states that still hold unissued workload budget
         #: as deadlocks (``verify(..., deadlock=True)``).
         self.check_workload_deadlock = check_workload_deadlock
+        #: :class:`~repro.system.vectorized.VectorizedKernel` for the
+        #: frontier-batch BFS, or None.  Requires ``kernel`` (the compiled
+        #: kernel stays on as the memo-miss oracle and the fallback).
+        self.vkernel = vkernel
+        #: Set by the strategy that actually ran ("vectorized") to override
+        #: the kernel/backed-off naming in :meth:`_result`; None means the
+        #: compiled/object naming applies.
+        self.kernel_name: str | None = None
+        #: Batch telemetry (vectorized searches): levels expanded as one
+        #: batch, total rows across those batches, and the split of applied
+        #: transitions between the batch path and the serial-replay fallback.
+        self.expansion_batches = 0
+        self.batch_rows = 0
+        self.vectorized_transitions = 0
+        self.fallback_transitions = 0
         self.start = time.perf_counter()
         self.explored = 0
         self.transitions = 0
@@ -241,7 +257,9 @@ class Exploration:
     # -- result constructors -----------------------------------------------------
     def _result(self, ok: bool, **kwargs) -> VerificationResult:
         elapsed = time.perf_counter() - self.start
-        kernel = "compiled" if self.kernel is not None else "object"
+        kernel = self.kernel_name or (
+            "compiled" if self.kernel is not None else "object"
+        )
         stats = {
             "kernel": kernel,
             "strategy": self.strategy_name,
@@ -258,6 +276,15 @@ class Exploration:
                 else round(max(0.0, elapsed - self.canon_seconds), 6)
             ),
         }
+        if kernel == "vectorized":
+            stats["expansion_batches"] = self.expansion_batches
+            stats["mean_batch_width"] = (
+                round(self.batch_rows / self.expansion_batches, 3)
+                if self.expansion_batches
+                else 0.0
+            )
+            stats["vectorized_transitions"] = self.vectorized_transitions
+            stats["fallback_transitions"] = self.fallback_transitions
         return VerificationResult(
             ok=ok,
             states_explored=self.explored,
@@ -342,9 +369,10 @@ def _resolve_kernel(system, kernel, invariant_tuple):
     """
     if kernel == "object":
         return None, None
-    if kernel != "compiled":
+    if kernel not in ("compiled", "vectorized"):
         raise ValueError(
-            f"unknown kernel {kernel!r} (expected 'compiled' or 'object')"
+            f"unknown kernel {kernel!r} "
+            "(expected 'compiled', 'vectorized' or 'object')"
         )
     if type(system) is not System:
         return None, None
@@ -425,7 +453,14 @@ def verify(
         dataclass executor; the compiled mode also falls back to it
         automatically for ``System`` subclasses, unrecognized invariant
         callables, or protocols the table form cannot express.
-        ``result.kernel`` records which backend ran.
+        ``"vectorized"`` expands whole frontier levels at once as NumPy
+        operations over a 2-D lane matrix (:mod:`repro.system.vectorized`);
+        it requires NumPy (clear :class:`VectorizedUnavailable` error from
+        ``System.vectorized_kernel()`` otherwise, with ``verify()`` falling
+        back to the compiled kernel) and runs on the BFS strategy for
+        fault-free single-address non-litmus configurations, falling back
+        to the compiled kernel -- per level or whole-search -- everywhere
+        else.  ``result.kernel`` records which backend actually ran.
     """
     from repro.verification.engine.search import resolve_strategy
 
@@ -453,6 +488,16 @@ def verify(
         else None
     )
     kernel_impl, kernel_codes = _resolve_kernel(system, kernel, invariant_tuple)
+    vkernel = None
+    if kernel == "vectorized" and kernel_impl is not None:
+        from repro.system.vectorized import VectorizedUnavailable
+
+        try:
+            candidate = system.vectorized_kernel()
+        except VectorizedUnavailable:
+            candidate = None  # no numpy: fall back to the compiled kernel
+        if candidate is not None and candidate.supported:
+            vkernel = candidate
     ctx = Exploration(
         system=system,
         invariants=invariant_tuple,
@@ -464,6 +509,7 @@ def verify(
         kernel=kernel_impl,
         kernel_codes=kernel_codes,
         check_workload_deadlock=deadlock,
+        vkernel=vkernel,
     )
     early = ctx.seed()
     if early is not None:

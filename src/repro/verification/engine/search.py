@@ -50,7 +50,11 @@ import os
 from collections import deque
 from time import perf_counter
 
-from repro.verification.engine.canonical import canonicalizer_for
+from repro.verification.engine.canonical import (
+    SAVED_ORBIT,
+    _tie_break_encoded,
+    canonicalizer_for,
+)
 
 #: Bound on the raw-successor dedup sets of the symmetry-reduced searches: a
 #: raw successor reached twice maps to the same canonical representative, so
@@ -277,6 +281,8 @@ class SearchStrategy:
 
 def _run_serial(ctx, *, lifo: bool):
     """Shared serial worklist search (FIFO = BFS, LIFO = DFS)."""
+    if ctx.vkernel is not None and not lifo:
+        return _run_vectorized(ctx)
     if ctx.kernel is not None:
         return _run_serial_compiled(ctx, lifo=lifo)
     return _run_serial_object(ctx, lifo=lifo)
@@ -434,6 +440,389 @@ def _run_serial_compiled(ctx, *, lifo: bool):
     return ctx.success()
 
 
+def _vectorized_leaf(ctx, leaf, F, sids, vk):
+    """Leaf handling for one zero-plan row of a vectorized level; mirrors
+    the serial loops' quiescence/deadlock branch exactly."""
+    _seq, state_id, pos = leaf
+    kernel = ctx.kernel
+    enc = tuple(F[pos].tolist()) + vk.section_tail(sids[pos])
+    if kernel.is_quiescent(enc):
+        if ctx.check_workload_deadlock and kernel.workload_remaining(enc):
+            return ctx.failure(deadlock=True, leaf_id=state_id)
+        ctx.complete_states += 1
+        return None
+    if ctx.check_deadlock:
+        return ctx.failure(deadlock=True, leaf_id=state_id)
+    return None
+
+
+def _expand_level_serial(ctx, ids, prefixes, sids, raw_seen, canonicalize):
+    """Replay one frontier level through the compiled per-state loop.
+
+    The vectorized driver routes a whole level here whenever *any* of its
+    rows needs the slow path (unexpected message, ambiguous guards, object
+    errors): re-running the complete level with the exact
+    :func:`_run_serial_compiled` body -- same row order, same per-plan
+    order, sharing the raw-successor dedup set with the batch path --
+    guarantees failures surface in the identical serial position.  Every
+    transition applied here counts as a fallback transition (pinned to zero
+    on the fault-free single-address hot path).  Returns ``(failure | None,
+    next_ids, next_prefixes, next_sids)``.
+    """
+    system = ctx.system
+    codec = ctx.codec
+    store = ctx.store
+    kernel = ctx.kernel
+    codes = ctx.kernel_codes
+    vk = ctx.vkernel
+    timer = perf_counter
+    pack = codec.pack
+    intern = store.intern
+    enabled = kernel.enabled
+    check = kernel.check
+    net_offset = vk.net_offset
+    section_tail = vk.section_tail
+    intern_section = vk.intern_section
+    next_ids: list = []
+    next_prefixes: list = []
+    next_sids: list = []
+    nxt = (None, next_ids, next_prefixes, next_sids)
+    for sid, prefix, sec in zip(ids, prefixes, sids):
+        enc = prefix + section_tail(sec)
+        plans, net = enabled(enc)
+        if not plans:
+            if kernel.is_quiescent(enc):
+                if ctx.check_workload_deadlock and kernel.workload_remaining(enc):
+                    return (ctx.failure(deadlock=True, leaf_id=sid),) + nxt[1:]
+                ctx.complete_states += 1
+                continue
+            if ctx.check_deadlock:
+                return (ctx.failure(deadlock=True, leaf_id=sid),) + nxt[1:]
+            continue
+        for plan in plans:
+            ctx.transitions += 1
+            ctx.fallback_transitions += 1
+            succ = plan[0](enc, plan, net)
+            if succ is None:
+                outcome = _slow_outcome(system, codec, enc, plan[1])
+                if outcome.error is not None:
+                    failure = ctx.failure(
+                        error=outcome.error,
+                        leaf_id=sid,
+                        final_event=codec.decode_event(plan[1]),
+                    )
+                    return (failure,) + nxt[1:]
+                succ = codec.encode(outcome.state)
+            perm = None
+            if canonicalize is not None:
+                grown = len(raw_seen) + 1
+                raw_seen.add(succ)
+                if len(raw_seen) != grown:
+                    continue
+                if grown >= _RAW_SEEN_LIMIT:
+                    raw_seen.clear()
+                start = timer()
+                succ, perm = canonicalize(succ)
+                ctx.canon_seconds += timer() - start
+            new_id, is_new = intern(pack(succ), sid, plan[1], perm)
+            if not is_new:
+                continue
+            if not check(succ, codes):
+                successor = codec.decode(succ)
+                for invariant in ctx.invariants:
+                    violation = invariant(system, successor)
+                    if violation is not None:
+                        failure = ctx.failure(violation=violation, leaf_id=new_id)
+                        return (failure,) + nxt[1:]
+            next_ids.append(new_id)
+            next_prefixes.append(succ[:net_offset])
+            next_sids.append(intern_section(succ[net_offset:]))
+    return nxt
+
+
+def _run_vectorized(ctx):
+    """Frontier-batch BFS over the NumPy lane matrix (``kernel="vectorized"``).
+
+    Each level: one memo-probing collection pass enumerates every row's
+    plans (:meth:`VectorizedKernel.collect_level`), one gather/scatter/
+    ``np.unique`` pass assembles and dedups the raw successor matrix
+    (:meth:`~VectorizedKernel.assemble`), and one
+    :meth:`~StateStore.intern_batch` call commits the level's distinct
+    canonical successors.  Distinct raw successors are processed in
+    first-occurrence stream order and leaves replay interleaved by their
+    sequence numbers, so verdicts, traces and (on passing searches) all
+    exploration counts are bit-identical to the serial strategies; on a
+    *failing* search the level batching may intern/count up to one level
+    beyond the serial stopping point (the verdict, the failing state ID and
+    the trace still match exactly).  A level containing any row the batch
+    path cannot express replays wholesale through
+    :func:`_expand_level_serial`.
+    """
+    vk = ctx.vkernel
+    system = ctx.system
+    codec = ctx.codec
+    store = ctx.store
+    perms = ctx.perms
+    kernel = ctx.kernel
+    codes = ctx.kernel_codes
+    canonicalizer = canonicalizer_for(codec, perms) if perms is not None else None
+    canonicalize = canonicalizer.canonicalize if canonicalizer is not None else None
+    # Batch canonicalization (one orbit classification per distinct cache-
+    # block region per level instead of one canonicalize call per state)
+    # relies on the sorted-signature argument, i.e. the full symmetric
+    # group -- exactly the condition EncodedCanonicalizer.canonicalize
+    # itself requires before consulting the orbit memo.
+    batch_canon = (
+        canonicalizer is not None
+        and len(perms) > 1
+        and canonicalizer._full_group
+    )
+    raw_seen: set | None = set() if canonicalize is not None else None
+    timer = perf_counter
+    pack = codec.pack
+    check = kernel.check
+    np = vk.np
+    net_offset = vk.net_offset
+    intern_section = vk.intern_section
+    sinfo = vk._section_info  # (tail, fake_enc, net, deliveries, packed_tail)
+    ctx.kernel_name = "vectorized"
+    root_enc = ctx.root_enc
+    ids = [ctx.root[0]]
+    F = np.asarray([root_enc[:net_offset]], dtype=vk.dtype)
+    sids = [intern_section(root_enc[net_offset:])]
+    while ids:
+        remaining = ctx.max_states - ctx.explored
+        if remaining <= 0:
+            ctx.truncated = True
+            break
+        if len(ids) > remaining:
+            ctx.truncated = True
+            ids = ids[:remaining]
+            F = F[:remaining]
+            sids = sids[:remaining]
+        level = vk.collect_level(ids, F, sids)
+        ctx.explored += len(ids)
+        if level.fallbacks:
+            prefixes = [tuple(row) for row in F.tolist()]
+            failure, ids, next_prefixes, sids = _expand_level_serial(
+                ctx, ids, prefixes, sids, raw_seen, canonicalize
+            )
+            if failure is not None:
+                return failure
+            F = np.asarray(next_prefixes, dtype=vk.dtype)
+            continue
+        ctx.transitions += level.transitions
+        ctx.vectorized_transitions += level.transitions
+        ctx.expansion_batches += 1
+        ctx.batch_rows += len(ids)
+        M, order = vk.assemble(F, level)
+        # Phase 1 -- distinct raw successors in stream order: cross-level
+        # raw dedup (keyed on the widened row bytes -- prefix lanes plus the
+        # global section-ID lanes -- sliced in bulk from the matrix),
+        # canonicalize, pack (no failure can occur here).  A raw successor
+        # whose canonical form is itself (``canonicalize`` returns the input
+        # tuple) builds its intern key from its prefix bytes plus the
+        # section's packed tail -- byte-identical to ``codec.pack`` --
+        # skipping the per-state repack entirely.
+        eevs = level.eevs
+        out_sids = level.sids
+        parent_pos = level.parent_pos
+        V = M[order]
+        vbytes = V.tobytes()
+        rowsize = V.shape[1] * V.dtype.itemsize
+        prefix_bytes = net_offset * V.dtype.itemsize
+        rows_list = V.tolist()
+        order_list = order.tolist()
+        entries: list = []
+        entry_encs: list = []  # canonical tuple, or None = raw (build lazily)
+        entry_us: list = []
+        entry_rows: list = []
+        entry_rsids: list = []  # canonical section ID, or -1 = intern later
+        if batch_canon:
+            # Orbit classification in bulk: one np.unique over the region
+            # columns, one orbit_for per distinct never-seen region.
+            d0 = vk.dir_offset
+            region_bytes = d0 * V.dtype.itemsize
+            R = np.ascontiguousarray(V[:, :d0])
+            rb = R.view(np.dtype((np.void, region_bytes))).ravel()
+            runiq, rfirst, rinv = np.unique(
+                rb, return_index=True, return_inverse=True
+            )
+            region_orbits = vk._region_orbits
+            recs = []
+            for vb, fi in zip(runiq, rfirst.tolist()):
+                rkey = vb.tobytes()
+                rec = region_orbits.get(rkey)
+                if rec is None:
+                    rec = region_orbits[rkey] = canonicalizer.orbit_for(
+                        tuple(rows_list[fi][:d0])
+                    )
+                recs.append(rec)
+            rinv_list = rinv.tolist()
+            identity = canonicalizer.identity
+            for j, u in enumerate(order_list):
+                grown = len(raw_seen) + 1
+                raw_seen.add(vbytes[j * rowsize : (j + 1) * rowsize])
+                if len(raw_seen) != grown:
+                    continue
+                if grown >= _RAW_SEEN_LIMIT:
+                    raw_seen.clear()
+                sid2 = out_sids[u]
+                orbit = recs[rinv_list[j]]
+                if orbit is SAVED_ORBIT:
+                    # Saved-requestor IDs: permutation-dependent signatures,
+                    # per-state encoded brute force (exactly what the serial
+                    # canonicalize would do for this state).
+                    enc = tuple(rows_list[j][:net_offset]) + sinfo[sid2][0]
+                    start = timer()
+                    cenc, perm = canonicalize(enc)
+                    ctx.canon_seconds += timer() - start
+                    if cenc is enc:
+                        key = (
+                            vbytes[j * rowsize : j * rowsize + prefix_bytes]
+                            + sinfo[sid2][4]
+                        )
+                        rsid = sid2
+                    else:
+                        enc = cenc
+                        key = pack(enc)
+                        rsid = -1
+                    entry_encs.append(enc)
+                else:
+                    best, extra = orbit
+                    if best is None:
+                        # Equal-signature ties: per-state tie-break over the
+                        # orbit candidates, then one table relabel.
+                        enc = tuple(rows_list[j][:net_offset]) + sinfo[sid2][0]
+                        start = timer()
+                        best = _tie_break_encoded(enc, codec, extra)
+                        if best == identity:
+                            key = (
+                                vbytes[j * rowsize : j * rowsize + prefix_bytes]
+                                + sinfo[sid2][4]
+                            )
+                            rsid = sid2
+                        else:
+                            enc = codec.relabel_via_tables(enc, best, saved=False)
+                            key = pack(enc)
+                            rsid = -1
+                        ctx.canon_seconds += timer() - start
+                        perm = best
+                        entry_encs.append(enc)
+                    elif extra is None:
+                        # Identity winner: the raw successor is canonical;
+                        # its bytes are already the intern key and the
+                        # tuple is only built (in phase 3) if it is new.
+                        perm = best
+                        key = (
+                            vbytes[j * rowsize : j * rowsize + prefix_bytes]
+                            + sinfo[sid2][4]
+                        )
+                        rsid = sid2
+                        entry_encs.append(None)
+                    else:
+                        # Unique non-identity winner: canonical encoding
+                        # assembles from the orbit-cached relabeled prefix
+                        # and the codec's memoized relabeled suffix.
+                        start = timer()
+                        enc = tuple(rows_list[j][:net_offset]) + sinfo[sid2][0]
+                        t2 = codec.perm_tables(best)[2]
+                        enc = tuple(extra + codec._relabeled_suffix(enc, best, t2))
+                        ctx.canon_seconds += timer() - start
+                        perm = best
+                        key = pack(enc)
+                        rsid = -1
+                        entry_encs.append(enc)
+                entries.append((key, ids[parent_pos[u]], eevs[u], perm))
+                entry_us.append(u)
+                entry_rows.append(j)
+                entry_rsids.append(rsid)
+        else:
+            for j, u in enumerate(order_list):
+                perm = None
+                if canonicalize is not None:
+                    grown = len(raw_seen) + 1
+                    raw_seen.add(vbytes[j * rowsize : (j + 1) * rowsize])
+                    if len(raw_seen) != grown:
+                        continue
+                    if grown >= _RAW_SEEN_LIMIT:
+                        raw_seen.clear()
+                    sid2 = out_sids[u]
+                    enc = tuple(rows_list[j][:net_offset]) + sinfo[sid2][0]
+                    start = timer()
+                    cenc, perm = canonicalize(enc)
+                    ctx.canon_seconds += timer() - start
+                    if cenc is enc:
+                        key = (
+                            vbytes[j * rowsize : j * rowsize + prefix_bytes]
+                            + sinfo[sid2][4]
+                        )
+                        rsid = sid2
+                    else:
+                        enc = cenc
+                        key = pack(enc)
+                        rsid = -1
+                    entry_encs.append(enc)
+                else:
+                    sid2 = out_sids[u]
+                    key = (
+                        vbytes[j * rowsize : j * rowsize + prefix_bytes]
+                        + sinfo[sid2][4]
+                    )
+                    entry_encs.append(None)
+                    rsid = sid2
+                entries.append((key, ids[parent_pos[u]], eevs[u], perm))
+                entry_us.append(u)
+                entry_rows.append(j)
+                entry_rsids.append(rsid)
+        # Phase 2 -- one batch intern for the whole level.
+        new_ids = store.intern_batch(entries)
+        # Phase 3 -- replay leaves and new states interleaved in stream
+        # order (leaf ``(k, ...)`` precedes successor ``u`` iff ``k <= u``),
+        # preserving the exact serial failure order.
+        next_ids: list = []
+        next_prefixes: list = []
+        next_sids: list = []
+        leaves = level.leaves
+        n_leaves = len(leaves)
+        li = 0
+        for j, new_id in enumerate(new_ids):
+            u = entry_us[j]
+            while li < n_leaves and leaves[li][0] <= u:
+                failure = _vectorized_leaf(ctx, leaves[li], F, sids, vk)
+                if failure is not None:
+                    return failure
+                li += 1
+            if new_id < 0:
+                continue
+            enc = entry_encs[j]
+            if enc is None:  # the raw successor is canonical: build it now
+                enc = (
+                    tuple(rows_list[entry_rows[j]][:net_offset])
+                    + sinfo[out_sids[u]][0]
+                )
+            if not check(enc, codes):
+                successor = codec.decode(enc)
+                for invariant in ctx.invariants:
+                    violation = invariant(system, successor)
+                    if violation is not None:
+                        return ctx.failure(violation=violation, leaf_id=new_id)
+            rsid = entry_rsids[j]
+            if rsid < 0:  # relabeled tail: intern its section once
+                rsid = intern_section(enc[net_offset:])
+            next_ids.append(new_id)
+            next_prefixes.append(enc[:net_offset])
+            next_sids.append(rsid)
+        while li < n_leaves:
+            failure = _vectorized_leaf(ctx, leaves[li], F, sids, vk)
+            if failure is not None:
+                return failure
+            li += 1
+        ids, sids = next_ids, next_sids
+        F = np.asarray(next_prefixes, dtype=vk.dtype)
+    return ctx.success()
+
+
 class BreadthFirst(SearchStrategy):
     name = "bfs"
 
@@ -448,8 +837,24 @@ class DepthFirst(SearchStrategy):
         return _run_serial(ctx, lifo=True)
 
 
+#: Frontier width above which the parallel strategy spins up its worker
+#: pool.  The pool + first-level IPC costs a fixed ~0.2 s; at the measured
+#: ~28 k serial reduced states/s that buys ~5-6 k states of serial work, so
+#: levels narrower than a couple thousand states never amortize it.  Small
+#: searches (every level below the threshold) therefore run entirely
+#: in-process and pay nothing; the pool forks lazily on the first level
+#: wide enough to feed it.
+POOL_SPINUP_FRONTIER = 2048
+
+
 class ParallelBreadthFirst(SearchStrategy):
-    """Level-synchronous BFS over a work-sharded encoded frontier."""
+    """Level-synchronous BFS over a work-sharded encoded frontier.
+
+    The worker pool spins up **lazily**: levels are expanded in-process
+    (through the same worker code path, forked-state free) until one
+    exceeds :data:`POOL_SPINUP_FRONTIER`, so searches too small to amortize
+    the fixed pool + IPC startup never pay it.
+    """
 
     name = "parallel"
 
@@ -457,6 +862,7 @@ class ParallelBreadthFirst(SearchStrategy):
         self.processes = processes
 
     def run(self, ctx):
+        global _WORKER
         try:
             mp = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - platform without fork
@@ -467,12 +873,12 @@ class ParallelBreadthFirst(SearchStrategy):
 
         root_id, _ = ctx.root
         frontier = [(root_id, ctx.root_key)]
-        ctx.parallel_workers = processes
-        with mp.Pool(
-            processes,
-            initializer=_init_worker,
-            initargs=(ctx.system, ctx.invariants, ctx.perms, ctx.kernel_codes),
-        ) as pool:
+        initargs = (ctx.system, ctx.invariants, ctx.perms, ctx.kernel_codes)
+        pool = None
+        try:
+            # In-process phase: install the worker context in this process
+            # and expand narrow levels directly (identical records, no IPC).
+            _init_worker(*initargs)
             while frontier:
                 remaining = ctx.max_states - ctx.explored
                 if remaining <= 0:
@@ -481,22 +887,41 @@ class ParallelBreadthFirst(SearchStrategy):
                 if len(frontier) > remaining:
                     ctx.truncated = True
                     frontier = frontier[:remaining]
-                chunk = max(1, -(-len(frontier) // (processes * 4)))
-                batches = [
-                    frontier[i : i + chunk] for i in range(0, len(frontier), chunk)
-                ]
                 ctx.explored += len(frontier)
+                if pool is None and len(frontier) > POOL_SPINUP_FRONTIER:
+                    pool = mp.Pool(
+                        processes, initializer=_init_worker, initargs=initargs
+                    )
+                    ctx.parallel_workers = processes
+                if pool is None:
+                    results = [_expand_batch(frontier)]
+                else:
+                    chunk = max(1, -(-len(frontier) // (processes * 4)))
+                    results = pool.map(
+                        _expand_batch,
+                        [
+                            frontier[i : i + chunk]
+                            for i in range(0, len(frontier), chunk)
+                        ],
+                    )
                 next_frontier = []
-                for records, canon_seconds, decodes in pool.map(
-                    _expand_batch, batches
-                ):
+                for records, canon_seconds, decodes in results:
                     ctx.canon_seconds += canon_seconds
-                    ctx.worker_decodes += decodes
+                    if pool is not None:
+                        # In-process expansion shares ctx.codec, whose
+                        # decode counter the stats already read; only the
+                        # forked workers' private counters need summing.
+                        ctx.worker_decodes += decodes
                     for record in records:
                         failure = self._absorb(ctx, record, next_frontier)
                         if failure is not None:
                             return failure
                 frontier = next_frontier
+        finally:
+            _WORKER = None
+            if pool is not None:
+                pool.terminate()
+                pool.join()
         return ctx.success()
 
     @staticmethod

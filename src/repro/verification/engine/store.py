@@ -118,6 +118,35 @@ class StateStore:
             out.append((new_id, key))
         return out
 
+    def intern_batch(self, entries) -> list[int]:
+        """Batch :meth:`intern` of ``(key, parent, event, perm)`` quads.
+
+        The vectorized search interns a whole frontier level's worth of
+        canonical successors in one call (its successors arrive pre-deduped
+        per level, but cross-level duplicates are still resolved here).
+        Returns the new ID for each genuinely new key, ``-1`` for an already
+        known one, positionally matching *entries* -- the caller builds the
+        next frontier (and locates a violating successor) from the indices.
+        """
+        ids = self._ids
+        parents = self._parent
+        events = self._event
+        perms = self._perm
+        compact = self.hash_compaction
+        out: list[int] = []
+        for key, parent, event, perm in entries:
+            lookup = self._key(key) if compact else key
+            if lookup in ids:
+                out.append(-1)
+                continue
+            new_id = len(parents)
+            ids[lookup] = new_id
+            parents.append(parent)
+            events.append(event)
+            perms.append(perm)
+            out.append(new_id)
+        return out
+
     def link(self, state_id: int) -> tuple[int, SystemEvent | None, Permutation | None]:
         """The ``(parent_id, event, perm)`` triple recorded for *state_id*."""
         return self._parent[state_id], self._event[state_id], self._perm[state_id]

@@ -295,6 +295,49 @@ class TestSearchStats:
         assert result.kernel == "object"
         assert result.stats["decode_count"] > 0
 
+    def test_vectorized_reduced_search_batch_telemetry(self, msi_stalling):
+        """The batch kernel's hot-path contract, pinned by telemetry: on a
+        fault-free single-address reduced search every transition is expanded
+        by the lane-matrix path (zero fallbacks) with zero object decodes."""
+        pytest.importorskip("numpy")
+        system = System(msi_stalling, num_caches=3,
+                        workload=Workload(max_accesses_per_cache=1))
+        codec = system.codec()
+        before = codec.decode_count
+        result = verify(system, symmetry=True, kernel="vectorized")
+        assert result.ok and result.kernel == "vectorized"
+        stats = result.stats
+        assert stats["expansion_batches"] > 0
+        assert stats["mean_batch_width"] > 0.0
+        # One batch per BFS level: mean width is states / levels.
+        assert stats["mean_batch_width"] == pytest.approx(
+            result.states_explored / stats["expansion_batches"]
+        )
+        assert stats["vectorized_transitions"] == result.transitions_explored
+        assert stats["fallback_transitions"] == 0
+        assert codec.decode_count == before
+        assert stats["decode_count"] == 0
+
+    def test_vectorized_full_search_batch_telemetry(self, msi_nonstalling):
+        pytest.importorskip("numpy")
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, kernel="vectorized")
+        assert result.ok and result.kernel == "vectorized"
+        assert result.stats["expansion_batches"] > 0
+        assert result.stats["fallback_transitions"] == 0
+        assert result.stats["decode_count"] == 0
+
+    def test_compiled_search_reports_no_batch_telemetry(self, msi_nonstalling):
+        """Batch counters are vectorized-only: the serial kernels must not
+        report fields they never populate."""
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1))
+        result = verify(system)
+        assert result.kernel == "compiled"
+        assert "expansion_batches" not in result.stats
+        assert "fallback_transitions" not in result.stats
+
     def test_parallel_search_aggregates_worker_stats(self, msi_nonstalling):
         system = System(msi_nonstalling, num_caches=2,
                         workload=Workload(max_accesses_per_cache=2))
@@ -303,6 +346,27 @@ class TestSearchStats:
             pytest.skip("parallel strategy unavailable on this platform")
         assert result.stats["decode_count"] == 0
         assert result.stats["canonicalization_seconds"] > 0.0
-        # Worker canonicalization time is CPU summed across processes --
-        # not comparable to the parent's wall-clock, so no expansion figure.
+        # This search never grows a level past POOL_SPINUP_FRONTIER, so the
+        # lazy pool never forks and the whole run stays in-process: the
+        # wall-clock time split is meaningful and must be reported.  (Only
+        # once workers actually run does expansion_seconds become None --
+        # worker canonicalization time is CPU summed across processes, not
+        # comparable to the parent's wall-clock.)
+        assert result.stats["expansion_seconds"] is not None
+
+    def test_parallel_pool_spinup_suppresses_expansion_split(
+        self, msi_nonstalling, monkeypatch
+    ):
+        """Force the lazy pool to fork (threshold 0) and check the original
+        multi-process contract: worker CPU time is summed, so no wall-clock
+        expansion figure is fabricated."""
+        from repro.verification.engine import search as search_mod
+
+        monkeypatch.setattr(search_mod, "POOL_SPINUP_FRONTIER", 0)
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, symmetry=True, strategy="parallel", processes=2)
+        if result.strategy != "parallel":  # fork unavailable: serial fallback
+            pytest.skip("parallel strategy unavailable on this platform")
+        assert result.ok
         assert result.stats["expansion_seconds"] is None

@@ -1,0 +1,268 @@
+"""Differential tests for the vectorized frontier kernel.
+
+The batch path's contract is *bit-exactness*: ``kernel="vectorized"`` must
+return the same verdicts, the same traces and (on passing searches) the same
+exploration counts as the compiled per-state kernel and the object executor,
+while performing zero ``GlobalState`` decodes on the hot path.  Three layers
+pin that contract:
+
+* **Expansion parity** -- for sampled reachable states, one
+  :meth:`VectorizedKernel.collect_level` call must enumerate exactly the
+  plans (same encoded events, same successor encodings, same order) that
+  ``TransitionKernel.enabled`` + per-plan apply produce.
+* **Whole-search parity** -- every bundled protocol x {stalling,
+  nonstalling} x {plain, symmetry-reduced}, plus failing mutants, compared
+  across all three kernels.
+* **The explicit-fallback contract** -- fault models, multi-address planes
+  and litmus workloads are *outside* the batch model: requesting
+  ``kernel="vectorized"`` there must transparently run (and report) the
+  compiled kernel, never a wrong batch answer.
+"""
+
+import pytest
+
+from repro import protocols
+from repro.core import GenerationConfig, generate
+from repro.dsl.types import AccessKind
+from repro.system import FaultModel, LitmusWorkload, System, Workload
+from repro.verification import verify
+
+from verification_helpers import (
+    MUTANT_DROPS,
+    drop_cache_handler,
+    make_missing_inv_mutant,
+    make_swmr_mutant,
+    sample_reachable_states,
+)
+
+np = pytest.importorskip("numpy")
+
+KERNELS = ("compiled", "vectorized", "object")
+
+
+def _workload(name: str) -> Workload:
+    if name == "MSI-Unordered":
+        # The unordered variant has no eviction path by design.
+        return Workload(max_accesses_per_cache=2,
+                        access_kinds=(AccessKind.LOAD, AccessKind.STORE))
+    return Workload(max_accesses_per_cache=2)
+
+
+def _invariants(name: str):
+    if name == "TSO-CC":
+        from repro.verification import single_owner_invariant
+        return [single_owner_invariant]
+    return None
+
+
+class TestExpansionParity:
+    """collect_level against enabled+apply, state by state."""
+
+    @pytest.mark.parametrize("config_label", ["nonstalling", "stalling"])
+    @pytest.mark.parametrize("name", protocols.available_protocols())
+    def test_sampled_states_expand_identically(
+        self, all_generated, name, config_label
+    ):
+        generated = all_generated[(name, config_label)]
+        system = System(generated, num_caches=3, workload=_workload(name))
+        vk = system.vectorized_kernel()
+        assert vk.supported, f"{name}/{config_label} should support batching"
+        kernel = system.kernel()
+        codec = system.codec()
+        net_offset = vk.net_offset
+        compared = 0
+        for state in sample_reachable_states(system, seed=20):
+            enc = codec.encode(state)
+            plans, net = kernel.enabled(enc)
+            serial = []
+            slow = False
+            for plan in plans:
+                succ = plan[0](enc, plan, net)
+                if succ is None:
+                    slow = True
+                    break
+                serial.append((plan[1], succ))
+            F = np.asarray([enc[:net_offset]], dtype=vk.dtype)
+            sid = vk.intern_section(enc[net_offset:])
+            level = vk.collect_level([0], F, [sid])
+            if level.fallbacks:
+                # The batch path may only refuse rows the compiled path also
+                # finds hard (slow-path applies); it must never *drop* rows.
+                assert slow or level.fallbacks == [0]
+                continue
+            assert not slow
+            # Same plans, same order, same encoded events.
+            assert level.eevs == [plan[1] for plan in plans]
+            # Same successor encodings, reconstructed from the deltas.
+            prefix = list(enc[:net_offset])
+            off = 0
+            batch = []
+            for i in range(level.transitions):
+                out = prefix.copy()
+                nlanes = level.lens[i]
+                for col, val in zip(
+                    level.flat_cols[off : off + nlanes],
+                    level.flat_vals[off : off + nlanes],
+                ):
+                    out[col] = val
+                off += nlanes
+                batch.append(tuple(out) + vk.section_tail(level.sids[i]))
+            assert batch == [succ for _eev, succ in serial]
+            compared += 1
+        assert compared >= 10, f"only {compared} states compared"
+
+
+class TestWholeSearchParity:
+    """verify() across the three kernels: identical results everywhere."""
+
+    @pytest.mark.parametrize("symmetry", [False, True])
+    @pytest.mark.parametrize("config_label", ["nonstalling", "stalling"])
+    @pytest.mark.parametrize("name", protocols.available_protocols())
+    def test_counts_and_verdicts_match(
+        self, all_generated, name, config_label, symmetry
+    ):
+        generated = all_generated[(name, config_label)]
+        system = System(generated, num_caches=2, workload=_workload(name))
+        invariants = _invariants(name)
+        results = {
+            k: verify(system, invariants=invariants, symmetry=symmetry, kernel=k)
+            for k in KERNELS
+        }
+        ref = results["compiled"]
+        assert ref.ok, f"{name}/{config_label}: {ref.summary}"
+        for k, result in results.items():
+            assert result.ok, f"{name}/{config_label}/{k}: {result.summary}"
+            assert result.states_explored == ref.states_explored, k
+            assert result.transitions_explored == ref.transitions_explored, k
+            assert result.complete_states == ref.complete_states, k
+        assert results["vectorized"].kernel == "vectorized"
+        assert results["object"].kernel == "object"
+
+    @pytest.mark.parametrize("symmetry", [False, True])
+    def test_three_cache_reference_counts(self, msi_stalling, symmetry):
+        """The paper's stalling-MSI tier at 3 caches: counts bit-identical
+        across kernels (1-access workload keeps the cell fast)."""
+        system = System(
+            msi_stalling, num_caches=3,
+            workload=Workload(max_accesses_per_cache=1,
+                              access_kinds=(AccessKind.LOAD, AccessKind.STORE)),
+        )
+        compiled = verify(system, symmetry=symmetry, kernel="compiled")
+        vectorized = verify(system, symmetry=symmetry, kernel="vectorized")
+        assert compiled.ok and vectorized.ok
+        assert vectorized.states_explored == compiled.states_explored
+        assert vectorized.transitions_explored == compiled.transitions_explored
+        assert vectorized.kernel == "vectorized"
+        assert vectorized.stats["fallback_transitions"] == 0
+
+
+class TestFailureTraceParity:
+    """Failing searches: verdict, violation/error and trace must match the
+    serial kernels exactly (counts may differ within the failing level --
+    the batch commits whole levels)."""
+
+    @pytest.mark.parametrize("symmetry", [False, True])
+    def test_swmr_mutant_trace(self, msi_spec, symmetry):
+        mutant = make_swmr_mutant(msi_spec)
+        system = System(mutant, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        compiled = verify(system, symmetry=symmetry, kernel="compiled")
+        vectorized = verify(system, symmetry=symmetry, kernel="vectorized")
+        assert not compiled.ok and not vectorized.ok
+        assert compiled.violation is not None and vectorized.violation is not None
+        assert vectorized.violation.name == compiled.violation.name == "SWMR"
+        assert vectorized.trace == compiled.trace
+
+    @pytest.mark.parametrize("symmetry", [False, True])
+    def test_missing_inv_mutant_trace(self, msi_spec, symmetry):
+        mutant = make_missing_inv_mutant(msi_spec)
+        system = System(mutant, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        compiled = verify(system, symmetry=symmetry, kernel="compiled")
+        vectorized = verify(system, symmetry=symmetry, kernel="vectorized")
+        assert not compiled.ok and not vectorized.ok
+        assert compiled.error is not None and vectorized.error is not None
+        assert "cannot handle message Inv" in vectorized.error
+        assert vectorized.error == compiled.error
+        assert vectorized.trace == compiled.trace
+
+    @pytest.mark.parametrize("name", protocols.available_protocols())
+    def test_dropped_handler_mutants_fail_identically(self, name):
+        state, message = MUTANT_DROPS[name]
+        mutant = drop_cache_handler(
+            generate(protocols.load(name), GenerationConfig.nonstalling()),
+            state, message,
+        )
+        system = System(mutant, num_caches=2, workload=_workload(name))
+        invariants = _invariants(name)
+        compiled = verify(system, invariants=invariants, kernel="compiled")
+        vectorized = verify(system, invariants=invariants, kernel="vectorized")
+        assert not compiled.ok and not vectorized.ok
+        assert compiled.error is not None and vectorized.error is not None
+        assert vectorized.error == compiled.error
+        assert vectorized.trace == compiled.trace
+
+
+class TestExplicitFallbackContract:
+    """Configurations outside the batch model run the compiled kernel and
+    say so -- never a silently wrong batch answer."""
+
+    def test_fault_model_falls_back(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1),
+                        faults=FaultModel(duplicate=True))
+        result = verify(system, kernel="vectorized")
+        reference = verify(system, kernel="compiled")
+        assert result.kernel == "compiled"
+        assert result.ok == reference.ok
+        assert result.states_explored == reference.states_explored
+
+    def test_multi_address_falls_back(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1),
+                        num_addresses=2)
+        result = verify(system, kernel="vectorized")
+        reference = verify(system, kernel="compiled")
+        assert result.kernel == "compiled"
+        assert result.ok == reference.ok
+        assert result.states_explored == reference.states_explored
+
+    def test_litmus_workload_falls_back(self, msi_nonstalling):
+        workload = LitmusWorkload(programs=(
+            ((AccessKind.STORE, 0),),
+            ((AccessKind.LOAD, 0),),
+        ))
+        system = System(msi_nonstalling, num_caches=2, workload=workload)
+        result = verify(system, kernel="vectorized")
+        reference = verify(system, kernel="compiled")
+        assert result.kernel == "compiled"
+        assert result.ok == reference.ok
+        assert result.states_explored == reference.states_explored
+
+    def test_dfs_strategy_falls_back(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1))
+        result = verify(system, kernel="vectorized", strategy="dfs")
+        assert result.kernel == "compiled"
+        assert result.ok
+
+    def test_unsupported_kernel_name_rejected(self, msi_nonstalling):
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1))
+        with pytest.raises(ValueError, match="vectorized"):
+            verify(system, kernel="simd")
+
+    def test_missing_numpy_raises_and_verify_falls_back(
+        self, msi_nonstalling, monkeypatch
+    ):
+        import repro.system.vectorized as vec
+        from repro.system import VectorizedUnavailable
+
+        monkeypatch.setattr(vec, "_np", None)
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=1))
+        with pytest.raises(VectorizedUnavailable, match="numpy"):
+            system.vectorized_kernel()
+        result = verify(system, kernel="vectorized")
+        assert result.kernel == "compiled"
+        assert result.ok
