@@ -1,19 +1,22 @@
-"""E12 -- engine throughput: serial vs persistent-worker parallel BFS.
+"""E12 -- engine throughput: serial vs shared-memory parallel BFS.
 
 The paper's Murphi configuration (stalling MSI, 3 caches x 2 accesses,
 symmetry-reduced: ~27k canonical states) is the reference workload for the
 encoded-state core: the same search runs once on the serial strategy and
-once on the persistent-worker parallel strategy, both are recorded to
+once on the shared-memory parallel engine, both are recorded to
 ``BENCH_results.json``, and the two must agree exactly on verdict and
 counts.
 
 Before the encoded core, parallel BFS only broke even past ~10^5-state
 frontiers because every frontier level crossed the process boundary as
-pickled object graphs; with workers exchanging packed encodings (bytes) and
-de-duplicating per shard, the IPC overhead at this size drops to a few
-percent, so any machine with two or more real cores comes out ahead.  The
-wall-clock comparison is recorded, and asserted only on multi-core machines
-(a single-core container time-shares the workers and cannot win).
+pickled object graphs.  The engine now writes each level's packed records
+into a ``multiprocessing.shared_memory`` arena that workers claim
+work-stealing chunks from (nothing is pickled but the per-round control
+messages), and the visited set lives digest-sharded *inside* the workers,
+so the IPC overhead at this size drops to a few percent and any machine
+with two or more real cores comes out ahead.  The wall-clock comparison is
+recorded, and asserted only on multi-core machines (a single-core container
+time-shares the workers and cannot win).
 """
 
 import os
@@ -28,15 +31,16 @@ from repro.verification import verify
 PROCESSES = 2
 
 #: Measured parallel-vs-serial crossover on the reference workload.  The
-#: worker pool now spins up *lazily* -- levels are expanded in-process until
-#: one exceeds ``POOL_SPINUP_FRONTIER`` (2048 states) -- so searches whose
-#: every level stays narrow pay nothing at all (re-measured: a 2c x 2a
-#: reduced search runs the parallel strategy with zero overhead, pool never
-#: forked), and the reference 3c x 2a workload's fixed overhead dropped from
-#: ~0.70 s (eager fork at level 0) to ~0.44 s (fork deferred past the narrow
-#: early levels; both figures time-sharing-inflated on the 1-core reference
-#: container, true 2-core cost roughly half).  With two real cores the pool
-#: halves the post-spin-up compute, so it wins once the serial wall-clock
+#: work-stealing engine keeps the lazy spin-up contract the earlier worker
+#: pool introduced: levels are expanded in-process until one exceeds
+#: ``POOL_SPINUP_FRONTIER`` (2048 states), so searches whose every level
+#: stays narrow pay nothing at all (re-measured: a 2c x 2a reduced search
+#: runs the parallel strategy with zero overhead, fleet never forked), and
+#: the reference 3c x 2a workload's fixed overhead stays around ~0.4 s
+#: (fork deferred past the narrow early levels; the figure is time-sharing-
+#: inflated on the 1-core reference container, true 2-core cost roughly
+#: half).  With two real cores the fleet splits the post-spin-up compute
+#: across shared-memory arenas, so it wins once the serial wall-clock
 #: clears about twice the ~0.2-0.25 s true overhead.  Below this the
 #: comparison is skipped with a recorded reason instead of flaking.
 PARALLEL_CROSSOVER_SECONDS = 0.6
@@ -88,6 +92,10 @@ def test_engine_throughput_serial_vs_parallel(benchmark, generated):
     print(f"  compiled/object speedup  : {kernel_speedup:.2f}x")
     print(f"  parallel/serial speedup  : {speedup:.2f}x "
           f"(schedulable cores: {cores})")
+    if "worker_states" in parallel_result.stats:
+        print(f"  states per worker        : "
+              f"{parallel_result.stats['worker_states']} "
+              f"(chunk steals: {parallel_result.stats['steal_count']})")
 
     assert serial_result.ok and object_result.ok and parallel_result.ok
     assert serial_result.kernel == "compiled" and object_result.kernel == "object"
@@ -116,9 +124,9 @@ def test_engine_throughput_serial_vs_parallel(benchmark, generated):
             f"to win (speedup {speedup:.2f}x recorded to BENCH_results.json)"
         )
     # Above the crossover with at least two schedulable cores, the
-    # persistent-worker pool must beat the serial search on this ~27k-state
-    # workload -- the byte-shipped frontiers and the batch-interning absorb
-    # loop exist exactly for this.
+    # work-stealing fleet must beat the serial search on this ~27k-state
+    # workload -- the zero-copy arenas and the owner-sharded dedup exist
+    # exactly for this.
     assert parallel_result.elapsed_seconds < serial_result.elapsed_seconds, (
         f"parallel {parallel_result.elapsed_seconds:.2f}s did not beat "
         f"serial {serial_result.elapsed_seconds:.2f}s on {cores} cores"

@@ -10,7 +10,9 @@ caches with the full two-access workload -- instead of capping three-cache
 runs at one access per cache as the seed did.
 """
 
+import os
 import resource
+import time
 
 import pytest
 from conftest import banner
@@ -138,53 +140,108 @@ def test_stalling_msi_three_caches_full_unreduced_kernel_axis(generated):
     )
 
 
-@pytest.mark.slow
-def test_stalling_msi_four_caches_full_budgeted_nightly(generated):
-    """Nightly 4-cache x 2-access *full* (unreduced) MSI exploration.
+#: Worker count of the nightly parallel run and the wall-clock the resumed
+#: leg must finish within when the host actually has the cores for it.
+NIGHTLY_WORKERS = 4
+NIGHTLY_WALL_CLOCK_SECONDS = 300
 
-    The compiled kernel put multi-million-state unreduced searches within
-    reach of the nightly tier; this run covers the complete 4c x 2a space --
-    measured at **24 579 648 states / 80 091 260 transitions** (~25 min at
-    ~17 k states/s, 14.5 GB peak RSS on the reference container), 23.4x the
-    reduced space's 1 052 239 canonical states, right at the 4! = 24 orbit
-    bound -- and records throughput **and peak memory** to
-    ``BENCH_results.json``, so the scaling trajectory of the encoded core is
-    tracked by numbers rather than anecdotes.  The ``max_states`` budget is
-    head-room above the known size: it keeps the clean partial-abort path as
-    the backstop if the space ever grows, while the assertions below demand
-    full coverage and the exact count.
+
+def _schedulable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.mark.slow
+def test_stalling_msi_four_caches_full_budgeted_nightly(generated, tmp_path):
+    """Nightly 4-cache x 2-access *full* (unreduced) MSI exploration, on the
+    shared-memory parallel engine, in two legs.
+
+    The space measures **24 579 648 states / 80 091 260 transitions**
+    (23.4x the reduced space's 1 052 239 canonical states, right at the
+    4! = 24 orbit bound).  The serial compiled kernel covered it in ~25 min
+    at ~17 k states/s with 14.5 GB peak RSS; the parallel engine shards the
+    visited set across ``NIGHTLY_WORKERS`` worker processes (the parent
+    keeps no key dict at all) and is expected under
+    ``NIGHTLY_WALL_CLOCK_SECONDS`` wall-clock on a host with enough
+    schedulable cores -- the gate is skipped, with the measurement still
+    recorded, on smaller machines where the processes would just time-slice
+    one core.
+
+    Leg 1 is the **resume smoke**: a 2M-state budgeted run stops at a round
+    boundary and persists the sharded checkpoint (store links + worker
+    digest dumps).  Leg 2 resumes from it under the full budget and must
+    land on the exact uninterrupted totals -- checkpoint/resume at nightly
+    scale, not just in the unit suite.  Throughput, peak memory and the
+    engine's worker telemetry (states per worker, chunk steals, spill
+    bytes) are recorded to ``BENCH_results.json``.
     """
     budget = 30_000_000
     protocol = generated[("MSI", "stalling")]
     system = System(protocol, num_caches=4,
                     workload=Workload(max_accesses_per_cache=2))
+    checkpoint = str(tmp_path / "e7-nightly.ckpt")
 
+    # Leg 1 -- budgeted prefix, checkpoint saved at a round boundary.
+    partial = verify(system, max_states=2_000_000, strategy="parallel",
+                     processes=NIGHTLY_WORKERS, hash_compaction=True,
+                     checkpoint=checkpoint)
+    assert partial.ok and partial.partial
+    assert os.path.exists(checkpoint), "budgeted leg must persist a checkpoint"
+
+    # Leg 2 -- resume under the full budget; head-room above the known size
+    # keeps the clean partial-abort path as the backstop if the space ever
+    # grows, while the assertions below demand full coverage.
     rss_before_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    result = verify(system, max_states=budget)
+    start = time.perf_counter()
+    result = verify(system, max_states=budget, strategy="parallel",
+                    processes=NIGHTLY_WORKERS, hash_compaction=True,
+                    checkpoint=checkpoint)
+    elapsed = time.perf_counter() - start
     rss_after_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
     entry = record_run(
         "e7-msi-4c2a-full-nightly", result,
         protocol="MSI", config="stalling",
         num_caches=4, accesses=2, symmetry=False,
+        processes=NIGHTLY_WORKERS,
         extra={
             "max_states": budget,
             "peak_rss_kb": rss_after_kb,
             "peak_rss_delta_kb": max(0, rss_after_kb - rss_before_kb),
+            "resumed_leg_seconds": round(elapsed, 3),
         },
     )
 
-    banner("E7 -- stalling MSI, 4 caches x 2 accesses (full, budgeted nightly)")
+    cores = _schedulable_cores()
+    banner("E7 -- stalling MSI, 4 caches x 2 accesses (full, parallel nightly)")
     print(f"  {result.summary}")
-    print(f"  states/second : {entry['states_per_second']}")
-    print(f"  peak RSS      : {rss_after_kb / 1024:.0f} MB "
+    print(f"  resumed at level        : {result.stats['resume_level']}")
+    print(f"  states/second           : {entry['states_per_second']}")
+    print(f"  states per worker       : {result.stats['worker_states']}")
+    print(f"  chunk steals            : {result.stats['steal_count']}")
+    print(f"  peak RSS                : {rss_after_kb / 1024:.0f} MB "
           f"(+{entry['peak_rss_delta_kb'] / 1024:.0f} MB during the search)")
+    print(f"  resumed leg wall-clock  : {elapsed:.0f}s "
+          f"({cores} schedulable cores)")
 
     assert result.ok
-    assert result.kernel == "compiled"
-    # The budget is head-room: the search must finish the space and land on
-    # the measured count (cross-checked against the reduced 1 052 239-state
-    # search: 23.4x, within the 4! orbit bound).
+    assert result.strategy == "parallel"
+    assert result.stats["resume_level"] is not None, "leg 2 must resume leg 1"
+    assert not os.path.exists(checkpoint), "a completed run consumes its checkpoint"
+    # Resume parity at scale: the two-leg search must land on the exact
+    # uninterrupted totals (cross-checked against the reduced
+    # 1 052 239-state search: 23.4x, within the 4! orbit bound).
     assert not result.partial
     assert result.states_explored == 24_579_648
     assert result.transitions_explored == 80_091_260
+    assert sum(result.stats["worker_states"]) > 0
+    if cores > NIGHTLY_WORKERS:
+        assert elapsed < NIGHTLY_WALL_CLOCK_SECONDS, (
+            f"resumed nightly leg took {elapsed:.0f}s on {cores} cores "
+            f"(gate: {NIGHTLY_WALL_CLOCK_SECONDS}s)"
+        )
+    else:
+        print(f"  wall-clock gate skipped: {cores} schedulable cores <= "
+              f"{NIGHTLY_WORKERS} workers")

@@ -89,7 +89,9 @@ INV_SWMR = "swmr"
 INV_SINGLE_OWNER = "single_owner"
 
 #: The default invariant pair, fused into one pass by :meth:`TransitionKernel.check`.
-_DEFAULT_CODES = (INV_SWMR, INV_SINGLE_OWNER)
+#: Public under ``DEFAULT_CODES`` so the vectorized kernel's lane-mask batch
+#: checker can recognize exactly the code tuple the fused pass covers.
+_DEFAULT_CODES = DEFAULT_CODES = (INV_SWMR, INV_SINGLE_OWNER)
 
 
 class TransitionKernel:
@@ -1206,4 +1208,10 @@ class TransitionKernel:
         return True
 
 
-__all__ = ["TransitionKernel", "AMBIGUOUS", "INV_SWMR", "INV_SINGLE_OWNER"]
+__all__ = [
+    "TransitionKernel",
+    "AMBIGUOUS",
+    "INV_SWMR",
+    "INV_SINGLE_OWNER",
+    "DEFAULT_CODES",
+]

@@ -53,6 +53,7 @@ from repro.system.kernel import (
     AMBIGUOUS,
     CF_PENDING,
     CF_STATE,
+    DEFAULT_CODES,
     TransitionKernel,
 )
 
@@ -165,6 +166,11 @@ class VectorizedKernel:
         # once through the compiled per-transition functions.
         self._deliv_memo: dict[tuple, object] = {}
         self._tail_memo: dict[tuple, int] = {}
+        # Invariant lane tables for the batch checker: permission/stability
+        # of each cache FSM state, indexed by the cache-state lane value.
+        spec = self.kernel.spec
+        self._perm_table = _np.asarray(spec.cache.permission, dtype=_np.int8)
+        self._stable_table = _np.asarray(spec.cache.stable, dtype=bool)
         # Batch canonicalization side table: raw region bytes -> orbit
         # record (:meth:`EncodedCanonicalizer.orbit_for`).  Region orbits
         # are classified once per distinct cache-block region, found in
@@ -432,6 +438,37 @@ class VectorizedKernel:
         _, first = np.unique(row_bytes, return_index=True)
         first.sort()
         return M, first
+
+    def check_level(self, V, codes: tuple):
+        """Default-invariant verdicts for a successor matrix, as a lane mask.
+
+        *V* is any matrix whose leading lanes are codec prefix lanes (the
+        driver passes the widened distinct-successor matrix; trailing
+        section-ID lanes are ignored).  Returns a boolean row mask -- True
+        where SWMR **and** single-owner hold -- or ``None`` when *codes* is
+        not the fused default pair (custom/litmus codes keep the per-row
+        ``TransitionKernel.check``).  Soundness note: SWMR and single-owner
+        aggregate over the cache-state lanes symmetrically, so the mask
+        computed on *raw* successor rows equals the verdicts of their
+        canonical representatives -- which is what lets the driver mask the
+        whole level before any per-row canonical encoding is even built.
+        """
+        if codes != DEFAULT_CODES:
+            return None
+        np = self.np
+        width = self.cache_width
+        cols = np.arange(self.num_caches, dtype=np.intp) * width
+        S = V[:, cols].astype(np.intp, copy=False)
+        P = self._perm_table[S]
+        is_writer = P == 2
+        writers = is_writer.sum(axis=1)
+        readers = (P == 1).sum(axis=1)
+        stable_writers = (is_writer & self._stable_table[S]).sum(axis=1)
+        return ~(
+            (writers > 1)
+            | ((writers > 0) & (readers > 0))
+            | (stable_writers > 1)
+        )
 
     # -- memo-miss evaluation (the only transition code on the batch path) ---------
     def _confined_delta(self, prefix: tuple, out: list, base):

@@ -9,6 +9,12 @@ explorer into four cooperating modules:
   columnar parent links and optional hash compaction;
 * :mod:`~repro.verification.engine.search` -- pluggable search strategies
   (BFS, DFS, fork-based parallel BFS);
+* :mod:`~repro.verification.engine.parallel` /
+  :mod:`~repro.verification.engine.shard` -- the shared-memory parallel
+  scale-out: zero-copy frontier arenas, work-stealing chunk claims, and
+  digest-sharded (disk-spillable) visited sets;
+* :mod:`~repro.verification.engine.checkpoint` -- budget checkpoint/resume
+  for all of the above;
 * :mod:`~repro.verification.engine.core` -- the :func:`verify` facade tying
   them together, including permutation-correct counterexample traces.
 
@@ -29,7 +35,10 @@ from repro.verification.engine.canonical import (
     invert,
     relabel_event,
 )
+from repro.verification.engine.checkpoint import CheckpointMismatch
 from repro.verification.engine.core import Exploration, VerificationResult, verify
+from repro.verification.engine.parallel import ShmEngine
+from repro.verification.engine.shard import SpillableKeySet, digest128
 from repro.verification.engine.search import (
     BreadthFirst,
     DepthFirst,
@@ -41,13 +50,17 @@ from repro.verification.engine.store import StateStore
 
 __all__ = [
     "BreadthFirst",
+    "CheckpointMismatch",
     "DepthFirst",
     "Exploration",
     "ParallelBreadthFirst",
     "Permutation",
     "SearchStrategy",
+    "ShmEngine",
+    "SpillableKeySet",
     "StateStore",
     "VerificationResult",
+    "digest128",
     "canonicalize",
     "canonicalize_bruteforce",
     "canonicalize_bruteforce_encoded",

@@ -38,6 +38,7 @@ from repro.verification.engine.canonical import (
     invert,
     relabel_event,
 )
+from repro.verification.engine import checkpoint as checkpoint_mod
 from repro.verification.engine.store import StateStore
 from repro.verification.invariants import (
     Invariant,
@@ -137,6 +138,8 @@ class Exploration:
         kernel_codes: tuple[str, ...] | None = None,
         check_workload_deadlock: bool = False,
         vkernel=None,
+        checkpoint_path: str | None = None,
+        spill_dir: str | None = None,
     ):
         self.system = system
         self.codec = system.codec()
@@ -183,6 +186,23 @@ class Exploration:
         #: Worker-process count of a multi-process search, 0 when the
         #: search ran in this process (drives the stats time-split shape).
         self.parallel_workers = 0
+        #: Where to save (and look for) a resumable budget checkpoint; None
+        #: disables checkpointing entirely.
+        self.checkpoint_path = checkpoint_path
+        #: Directory for the parallel workers' cold visited-set runs; None
+        #: keeps every shard fully in memory.
+        self.spill_dir = spill_dir
+        #: Loaded checkpoint payload (set by ``checkpoint.load``); strategies
+        #: pick their frontier up from here instead of the root.
+        self.resume: dict | None = None
+        #: Frontier level the loaded checkpoint stopped at (None = fresh run).
+        self.resume_level: int | None = None
+        #: Shared-memory engine telemetry: chunk claims beyond one per worker
+        #: per round (work actually stolen), states expanded per worker, and
+        #: bytes of visited-set digests currently spilled to disk.
+        self.steal_count = 0
+        self.worker_states: list[int] | None = None
+        self.spill_bytes = 0
         # Decode baseline: the codec is cached per system, so its counter
         # carries history from earlier searches; stats report the delta.
         self._decode_base = self.codec.decode_count
@@ -276,6 +296,11 @@ class Exploration:
                 else round(max(0.0, elapsed - self.canon_seconds), 6)
             ),
         }
+        stats["resume_level"] = self.resume_level
+        if self.worker_states is not None:
+            stats["steal_count"] = self.steal_count
+            stats["worker_states"] = list(self.worker_states)
+            stats["spill_bytes"] = self.spill_bytes
         if kernel == "vectorized":
             stats["expansion_batches"] = self.expansion_batches
             stats["mean_batch_width"] = (
@@ -405,6 +430,8 @@ def verify(
     processes: int | None = None,
     hash_compaction: bool = False,
     kernel: str = "compiled",
+    checkpoint: str | None = None,
+    spill_dir: str | None = None,
 ) -> VerificationResult:
     """Exhaustively explore *system* and check all invariants.
 
@@ -461,6 +488,21 @@ def verify(
         fault-free single-address non-litmus configurations, falling back
         to the compiled kernel -- per level or whole-search -- everywhere
         else.  ``result.kernel`` records which backend actually ran.
+    ``checkpoint``
+        Path of a resumable budget checkpoint.  When the search stops at the
+        ``max_states`` budget it saves its frontier, store links and
+        counters there (atomically); a later ``verify`` call with the same
+        configuration and the same path resumes where it stopped -- under a
+        fresh budget -- and the completed search reports counters, verdict
+        and trace identical to an uninterrupted run.  A completed (non-
+        partial) search deletes the file.  A checkpoint written by a
+        different configuration raises
+        :class:`~repro.verification.engine.checkpoint.CheckpointMismatch`.
+    ``spill_dir``
+        Directory where the parallel engine's worker shards may spill cold
+        visited-set partitions as sorted digest runs, bounding resident
+        memory on searches whose visited set would not fit otherwise
+        (ignored by the in-process strategies, which keep the store's dict).
     """
     from repro.verification.engine.search import resolve_strategy
 
@@ -510,10 +552,15 @@ def verify(
         kernel_codes=kernel_codes,
         check_workload_deadlock=deadlock,
         vkernel=vkernel,
+        checkpoint_path=checkpoint,
+        spill_dir=spill_dir,
     )
     early = ctx.seed()
     if early is not None:
         return early
+    # A checkpoint (if one exists at the path) replaces the freshly seeded
+    # store wholesale -- the snapshot's ID 0 is the same canonical root.
+    checkpoint_mod.load(ctx)
     # The search allocates millions of short-lived, cycle-free tuples and
     # byte strings; generational GC scans buy nothing there and cost ~10 %
     # of the wall-clock, so collection pauses while the search runs.
@@ -521,7 +568,11 @@ def verify(
     if gc_was_enabled:
         gc.disable()
     try:
-        return strat.run(ctx)
+        result = strat.run(ctx)
     finally:
         if gc_was_enabled:
             gc.enable()
+    if checkpoint is not None and not result.truncated:
+        # The search ran to its end: the checkpoint is consumed.
+        checkpoint_mod.clear(checkpoint)
+    return result

@@ -8,22 +8,23 @@ Three strategies are provided:
 * :class:`DepthFirst` -- LIFO frontier; explores the same state set and
   reports the same verdicts, typically finding *some* counterexample sooner
   at the cost of longer traces.
-* :class:`ParallelBreadthFirst` -- level-synchronous BFS over a
-  **persistent worker pool**.  Workers are forked once per search and hold
-  the system, the invariants and the state codec for its whole duration;
-  each level the parent ships shards of *packed state encodings* (bytes) and
-  receives records whose successors and events are encoded too -- no pickled
-  object graphs ever cross the process boundary.  Workers keep a persistent
-  per-shard seen-set, so a canonical state rediscovered in any later level
-  is suppressed at the source instead of being re-shipped; successors
-  arrive canonicalized, packed and pre-deduped, so the parent's absorb
-  loop is one batch intern per expanded state
-  (:meth:`~repro.verification.engine.store.StateStore.intern_children`,
-  violations out-of-band), which keeps counterexample traces working
-  exactly as in the serial strategies.  Falls back to serial BFS when ``fork`` is unavailable
-  or fewer than two workers are requested.  Around the ``max_states`` bound
-  the explored-state count may differ from the serial strategies by up to
-  one frontier level (the bound is enforced per level, not per state).
+* :class:`ParallelBreadthFirst` -- level-synchronous BFS over the
+  **shared-memory worker engine**
+  (:mod:`repro.verification.engine.parallel`).  Narrow levels expand
+  in-process; the first level wide enough forks persistent workers, after
+  which frontiers travel as zero-copy shared-memory arenas of packed
+  encodings, workers claim chunks off a shared cursor (work-stealing)
+  instead of receiving static shards, and the visited set lives sharded
+  across the workers keyed by the 128-bit hash-compaction digest
+  (optionally spilling cold partitions to disk).  The parent keeps no key
+  dict at all past spin-up -- it only appends columnar trace links
+  (:meth:`~repro.verification.engine.store.StateStore.append_link`) -- so
+  counterexample traces work exactly as in the serial strategies while the
+  parent's per-state footprint stays flat.  Falls back to serial BFS when
+  ``fork`` is unavailable or fewer than two workers are requested.  Around
+  the ``max_states`` bound the explored-state count may differ from the
+  serial strategies by up to one frontier level (the bound is enforced per
+  level, not per state).
 
 Every strategy runs on one of two **transition backends**, chosen by
 ``verify(..., kernel=...)`` and carried on the exploration context:
@@ -50,11 +51,13 @@ import os
 from collections import deque
 from time import perf_counter
 
+from repro.verification.engine import checkpoint as checkpoint_mod
 from repro.verification.engine.canonical import (
     SAVED_ORBIT,
     _tie_break_encoded,
     canonicalizer_for,
 )
+from repro.verification.engine.parallel import ShmEngine
 
 #: Bound on the raw-successor dedup sets of the symmetry-reduced searches: a
 #: raw successor reached twice maps to the same canonical representative, so
@@ -308,13 +311,28 @@ def _run_serial_object(ctx, *, lifo: bool):
     raw_seen: set | None = set() if canonicalize is not None else None
     encode = codec.encode
     pack = codec.pack
-    frontier: deque = deque([ctx.root])
+    if ctx.resume is not None:
+        # A "deque" checkpoint is the exact mid-level worklist: resuming
+        # continues with the very next pop, bit-identically (IDs included).
+        decode_packed = codec.decode_packed
+        frontier: deque = deque(
+            (sid, decode_packed(key)) for sid, key in ctx.resume["frontier"]
+        )
+    else:
+        frontier = deque([ctx.root])
     pop = frontier.pop if lifo else frontier.popleft
     while frontier:
-        sid, state = pop()
         if ctx.explored >= ctx.max_states:
             ctx.truncated = True
+            if ctx.checkpoint_path is not None:
+                checkpoint_mod.save(
+                    ctx,
+                    mode="deque",
+                    frontier=[(s, pack(encode(st))) for s, st in frontier],
+                    level=None,
+                )
             break
+        sid, state = pop()
         ctx.explored += 1
         events = system.enabled_events(state)
         if not events:
@@ -383,13 +401,28 @@ def _run_serial_compiled(ctx, *, lifo: bool):
     intern = store.intern
     enabled = kernel.enabled
     check = kernel.check
-    frontier: deque = deque([(ctx.root[0], ctx.root_enc)])
+    if ctx.resume is not None:
+        # Exact mid-level worklist: the resumed search is bit-identical to
+        # an uninterrupted one (IDs, counts, verdict, trace).
+        unpack = codec.unpack
+        frontier: deque = deque(
+            (sid, unpack(key)) for sid, key in ctx.resume["frontier"]
+        )
+    else:
+        frontier = deque([(ctx.root[0], ctx.root_enc)])
     pop = frontier.pop if lifo else frontier.popleft
     while frontier:
-        sid, enc = pop()
         if ctx.explored >= ctx.max_states:
             ctx.truncated = True
+            if ctx.checkpoint_path is not None:
+                checkpoint_mod.save(
+                    ctx,
+                    mode="deque",
+                    frontier=[(s, pack(e)) for s, e in frontier],
+                    level=None,
+                )
             break
+        sid, enc = pop()
         ctx.explored += 1
         plans, net = enabled(enc)
         if not plans:
@@ -586,22 +619,56 @@ def _run_vectorized(ctx):
     intern_section = vk.intern_section
     sinfo = vk._section_info  # (tail, fake_enc, net, deliveries, packed_tail)
     ctx.kernel_name = "vectorized"
-    root_enc = ctx.root_enc
-    ids = [ctx.root[0]]
-    F = np.asarray([root_enc[:net_offset]], dtype=vk.dtype)
-    sids = [intern_section(root_enc[net_offset:])]
+    if ctx.resume is not None:
+        # A "level" checkpoint holds a whole unexpanded frontier level;
+        # rebuild the lane matrix and section IDs from the packed keys.
+        unpack = codec.unpack
+        ids = []
+        prefixes = []
+        sids = []
+        for sid, key in ctx.resume["frontier"]:
+            enc = unpack(key)
+            ids.append(sid)
+            prefixes.append(enc[:net_offset])
+            sids.append(intern_section(enc[net_offset:]))
+        F = np.asarray(prefixes, dtype=vk.dtype)
+        depth = ctx.resume_level
+    else:
+        root_enc = ctx.root_enc
+        ids = [ctx.root[0]]
+        F = np.asarray([root_enc[:net_offset]], dtype=vk.dtype)
+        sids = [intern_section(root_enc[net_offset:])]
+        depth = 0
     while ids:
         remaining = ctx.max_states - ctx.explored
-        if remaining <= 0:
+        over_budget = remaining <= 0
+        if not over_budget and len(ids) > remaining:
+            if ctx.checkpoint_path is not None:
+                # Stop at the level boundary (save the level unclipped) so
+                # the resumed search explores the identical level sequence
+                # and ends with an uninterrupted run's exact counters.
+                over_budget = True
+            else:
+                ctx.truncated = True
+                ids = ids[:remaining]
+                F = F[:remaining]
+                sids = sids[:remaining]
+        if over_budget:
             ctx.truncated = True
+            if ctx.checkpoint_path is not None:
+                checkpoint_mod.save(
+                    ctx,
+                    mode="level",
+                    frontier=[
+                        (sid, pack(tuple(row) + sinfo[sec][0]))
+                        for sid, row, sec in zip(ids, F.tolist(), sids)
+                    ],
+                    level=depth,
+                )
             break
-        if len(ids) > remaining:
-            ctx.truncated = True
-            ids = ids[:remaining]
-            F = F[:remaining]
-            sids = sids[:remaining]
         level = vk.collect_level(ids, F, sids)
         ctx.explored += len(ids)
+        depth += 1
         if level.fallbacks:
             prefixes = [tuple(row) for row in F.tolist()]
             failure, ids, next_prefixes, sids = _expand_level_serial(
@@ -633,6 +700,13 @@ def _run_vectorized(ctx):
         prefix_bytes = net_offset * V.dtype.itemsize
         rows_list = V.tolist()
         order_list = order.tolist()
+        # Default-invariant verdicts for the whole level as one lane-mask
+        # reduction over the successor matrix (None for non-default codes:
+        # phase 3 then falls back to the per-state fused check).  The mask is
+        # computed on the *raw* rows, which is sound because the default
+        # invariants are cache-permutation-symmetric (see check_level).
+        level_ok = vk.check_level(V, codes)
+        ok_list = level_ok.tolist() if level_ok is not None else None
         entries: list = []
         entry_encs: list = []  # canonical tuple, or None = raw (build lazily)
         entry_us: list = []
@@ -795,13 +869,24 @@ def _run_vectorized(ctx):
                 li += 1
             if new_id < 0:
                 continue
+            row_ok = ok_list[entry_rows[j]] if ok_list is not None else None
             enc = entry_encs[j]
+            if enc is None and row_ok:
+                # Passing identity row: the mask already cleared it, the
+                # prefix lanes come straight off the matrix and its section
+                # is interned -- the encoded tuple is never built at all.
+                next_ids.append(new_id)
+                next_prefixes.append(
+                    tuple(rows_list[entry_rows[j]][:net_offset])
+                )
+                next_sids.append(entry_rsids[j])
+                continue
             if enc is None:  # the raw successor is canonical: build it now
                 enc = (
                     tuple(rows_list[entry_rows[j]][:net_offset])
                     + sinfo[out_sids[u]][0]
                 )
-            if not check(enc, codes):
+            if (not row_ok) if row_ok is not None else (not check(enc, codes)):
                 successor = codec.decode(enc)
                 for invariant in ctx.invariants:
                     violation = invariant(system, successor)
@@ -848,12 +933,17 @@ POOL_SPINUP_FRONTIER = 2048
 
 
 class ParallelBreadthFirst(SearchStrategy):
-    """Level-synchronous BFS over a work-sharded encoded frontier.
+    """Level-synchronous BFS over the shared-memory worker engine.
 
-    The worker pool spins up **lazily**: levels are expanded in-process
-    (through the same worker code path, forked-state free) until one
+    The worker fleet spins up **lazily**: levels are expanded in-process
+    (through the same record-based code path, forked-state free) until one
     exceeds :data:`POOL_SPINUP_FRONTIER`, so searches too small to amortize
-    the fixed pool + IPC startup never pay it.
+    the fixed fork + IPC startup never pay it.  Once a level is wide enough
+    the engine (:class:`~repro.verification.engine.parallel.ShmEngine`)
+    forks persistent workers seeded with the visited set, the parent drops
+    its key index entirely, and all further levels run through zero-copy
+    shared-memory frontier exchange with work-stealing chunk claims and
+    digest-sharded dedup -- see :mod:`repro.verification.engine.parallel`.
     """
 
     name = "parallel"
@@ -871,57 +961,77 @@ class ParallelBreadthFirst(SearchStrategy):
         if processes <= 1:
             return self._fallback(ctx)
 
-        root_id, _ = ctx.root
-        frontier = [(root_id, ctx.root_key)]
+        resume = ctx.resume
+        if resume is not None and resume["mode"] == "sharded":
+            # Past-spin-up checkpoint: the store snapshot has no keys; the
+            # visited set rides in the shard digest dumps, re-sharded here
+            # under whatever worker count this run uses.
+            engine = ShmEngine(ctx, mp, processes)
+            engine.spinup(seed_blobs=resume["shards"])
+            try:
+                return engine.drive(
+                    [tuple(pair) for pair in resume["frontier"]],
+                    resume["level"],
+                )
+            finally:
+                engine.shutdown()
+        if resume is not None:
+            frontier = [tuple(pair) for pair in resume["frontier"]]
+            depth = resume["level"]
+        else:
+            root_id, _ = ctx.root
+            frontier = [(root_id, ctx.root_key)]
+            depth = 0
         initargs = (ctx.system, ctx.invariants, ctx.perms, ctx.kernel_codes)
-        pool = None
         try:
             # In-process phase: install the worker context in this process
             # and expand narrow levels directly (identical records, no IPC).
             _init_worker(*initargs)
             while frontier:
                 remaining = ctx.max_states - ctx.explored
-                if remaining <= 0:
+                over_budget = remaining <= 0
+                if not over_budget and len(frontier) > remaining:
+                    if ctx.checkpoint_path is not None:
+                        # Stop at the level boundary (unclipped) so a
+                        # resumed run matches an uninterrupted one exactly.
+                        over_budget = True
+                    else:
+                        ctx.truncated = True
+                        frontier = frontier[:remaining]
+                if over_budget:
                     ctx.truncated = True
+                    if ctx.checkpoint_path is not None:
+                        checkpoint_mod.save(
+                            ctx, mode="level", frontier=frontier, level=depth
+                        )
                     break
-                if len(frontier) > remaining:
-                    ctx.truncated = True
-                    frontier = frontier[:remaining]
+                if len(frontier) > POOL_SPINUP_FRONTIER:
+                    engine = ShmEngine(ctx, mp, processes)
+                    # Seed worker shards with everything interned so far
+                    # (post-_key keys: under hash compaction these already
+                    # ARE the 128-bit digests), then drop the parent's key
+                    # index -- from here on membership lives on the workers
+                    # and the parent only appends trace links.
+                    engine.spinup(seed_keys=list(ctx.store.iter_keys()))
+                    ctx.store.drop_index()
+                    try:
+                        return engine.drive(frontier, depth)
+                    finally:
+                        engine.shutdown()
                 ctx.explored += len(frontier)
-                if pool is None and len(frontier) > POOL_SPINUP_FRONTIER:
-                    pool = mp.Pool(
-                        processes, initializer=_init_worker, initargs=initargs
-                    )
-                    ctx.parallel_workers = processes
-                if pool is None:
-                    results = [_expand_batch(frontier)]
-                else:
-                    chunk = max(1, -(-len(frontier) // (processes * 4)))
-                    results = pool.map(
-                        _expand_batch,
-                        [
-                            frontier[i : i + chunk]
-                            for i in range(0, len(frontier), chunk)
-                        ],
-                    )
+                records, canon_seconds, _decodes = _expand_batch(frontier)
+                ctx.canon_seconds += canon_seconds
+                # In-process expansion shares ctx.codec, whose decode
+                # counter the stats already read; nothing to sum here.
                 next_frontier = []
-                for records, canon_seconds, decodes in results:
-                    ctx.canon_seconds += canon_seconds
-                    if pool is not None:
-                        # In-process expansion shares ctx.codec, whose
-                        # decode counter the stats already read; only the
-                        # forked workers' private counters need summing.
-                        ctx.worker_decodes += decodes
-                    for record in records:
-                        failure = self._absorb(ctx, record, next_frontier)
-                        if failure is not None:
-                            return failure
+                for record in records:
+                    failure = self._absorb(ctx, record, next_frontier)
+                    if failure is not None:
+                        return failure
                 frontier = next_frontier
+                depth += 1
         finally:
             _WORKER = None
-            if pool is not None:
-                pool.terminate()
-                pool.join()
         return ctx.success()
 
     @staticmethod

@@ -147,6 +147,79 @@ class StateStore:
             out.append(new_id)
         return out
 
+    def append_link(
+        self,
+        parent: int,
+        event: SystemEvent | None,
+        perm: Permutation | None,
+    ) -> int:
+        """Append a trace link for a key deduplicated *elsewhere*; returns its ID.
+
+        The shared-memory parallel engine dedups candidate successors on the
+        worker that owns their digest shard, so by the time a state reaches
+        the parent it is known new -- the parent records only the columnar
+        parent/event/perm link and never touches (or keeps) a key dict.
+        That asymmetry is the engine's memory win: the parent's footprint is
+        three appends per state regardless of key size.
+        """
+        new_id = len(self._parent)
+        self._parent.append(parent)
+        self._event.append(event)
+        self._perm.append(perm)
+        return new_id
+
+    def drop_index(self) -> None:
+        """Release the key dict (membership moves to the workers' shards).
+
+        After this, :meth:`intern`/:meth:`__contains__` are invalid;
+        :meth:`append_link`, :meth:`link` and :meth:`chain` -- everything
+        trace reconstruction needs -- keep working.
+        """
+        self._ids = None
+
+    # -- checkpoint support --------------------------------------------------------
+    def snapshot(self, *, with_keys: bool = True) -> dict:
+        """Picklable copy of the store for a checkpoint.
+
+        ``with_keys=False`` omits the intern keys (the sharded parallel
+        engine's parent does not have them; the checkpoint carries worker
+        shard digests instead).  Keys are saved in dense ID order so
+        :meth:`restore` rebuilds the exact same ID assignment.
+        """
+        keys = None
+        if with_keys and self._ids is not None:
+            keys = [None] * len(self._parent)
+            for key, state_id in self._ids.items():
+                keys[state_id] = key
+        return {
+            "hash_compaction": self.hash_compaction,
+            "keys": keys,
+            "parent": list(self._parent),
+            "event": list(self._event),
+            "perm": list(self._perm),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Replace this store's contents with a :meth:`snapshot` payload.
+
+        Snapshot keys were already passed through :meth:`_key` when first
+        interned, so they are re-installed verbatim (digests stay digests
+        under hash compaction).
+        """
+        self.hash_compaction = snapshot["hash_compaction"]
+        self._parent = list(snapshot["parent"])
+        self._event = list(snapshot["event"])
+        self._perm = list(snapshot["perm"])
+        keys = snapshot["keys"]
+        if keys is None:
+            self._ids = None
+        else:
+            self._ids = {key: state_id for state_id, key in enumerate(keys)}
+
+    def iter_keys(self):
+        """The intern keys (post-:meth:`_key`), in arbitrary order."""
+        return iter(self._ids)
+
     def link(self, state_id: int) -> tuple[int, SystemEvent | None, Permutation | None]:
         """The ``(parent_id, event, perm)`` triple recorded for *state_id*."""
         return self._parent[state_id], self._event[state_id], self._perm[state_id]

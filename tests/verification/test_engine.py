@@ -13,7 +13,7 @@ violation / error / deadlock is reproduced.
 import pytest
 
 from repro.system import System, Workload
-from repro.verification import default_invariants, verify
+from repro.verification import verify
 from repro.verification.engine import (
     BreadthFirst,
     DepthFirst,
@@ -27,6 +27,7 @@ from verification_helpers import (
     MessageDroppingSystem,
     make_missing_inv_mutant,
     make_swmr_mutant,
+    replay_and_check,
 )
 
 
@@ -38,39 +39,6 @@ def msi_missing_inv_mutant(msi_spec):
 @pytest.fixture(scope="module")
 def msi_swmr_mutant(msi_spec):
     return make_swmr_mutant(msi_spec)
-
-
-def replay_and_check(system, result):
-    """Replay ``result.trace_events`` from the initial state and assert the
-    reported outcome is reproduced exactly."""
-    state = system.initial_state()
-    events = result.trace_events
-    assert [str(e) for e in events] == result.trace
-    for step, event in enumerate(events):
-        assert event in system.enabled_events(state), (
-            f"replay step {step}: {event} is not enabled"
-        )
-        outcome = system.apply(state, event)
-        if step == len(events) - 1 and result.error is not None:
-            assert outcome.error == result.error
-            return
-        assert outcome.error is None, f"replay step {step} errored: {outcome.error}"
-        state = outcome.state
-    if result.error is not None:
-        pytest.fail("error trace replayed without reproducing the error")
-    if result.violation is not None:
-        reproduced = [
-            v
-            for v in (inv(system, state) for inv in default_invariants())
-            if v is not None and str(v) == str(result.violation)
-        ]
-        assert reproduced, f"violation {result.violation} not reproduced by replay"
-        return
-    if result.deadlock:
-        assert not system.enabled_events(state)
-        assert not system.is_quiescent(state)
-        return
-    pytest.fail("failing result carried no violation/error/deadlock")
 
 
 MODES = [
@@ -353,6 +321,41 @@ class TestSearchStats:
         # worker canonicalization time is CPU summed across processes, not
         # comparable to the parent's wall-clock.)
         assert result.stats["expansion_seconds"] is not None
+
+    def test_forked_parallel_run_reports_worker_telemetry(
+        self, msi_nonstalling, monkeypatch
+    ):
+        """Once the shared-memory fleet forks, the result must say what the
+        workers did: states expanded per worker, chunks stolen beyond the
+        one-per-worker baseline, and bytes spilled (zero without a
+        spill dir)."""
+        from repro.verification.engine import search as search_mod
+
+        monkeypatch.setattr(search_mod, "POOL_SPINUP_FRONTIER", 0)
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, symmetry=True, strategy="parallel", processes=2)
+        if result.strategy != "parallel":  # fork unavailable: serial fallback
+            pytest.skip("parallel strategy unavailable on this platform")
+        stats = result.stats
+        assert len(stats["worker_states"]) == 2
+        assert sum(stats["worker_states"]) > 0
+        assert stats["steal_count"] >= 0
+        assert stats["spill_bytes"] == 0
+        assert stats["resume_level"] is None
+
+    def test_in_process_search_reports_no_worker_telemetry(
+        self, msi_nonstalling
+    ):
+        """Worker counters are fleet-only: a search that never forked must
+        not fabricate them (mirrors the batch-telemetry rule above)."""
+        system = System(msi_nonstalling, num_caches=2,
+                        workload=Workload(max_accesses_per_cache=2))
+        result = verify(system, symmetry=True)
+        assert "worker_states" not in result.stats
+        assert "steal_count" not in result.stats
+        assert "spill_bytes" not in result.stats
+        assert result.stats["resume_level"] is None
 
     def test_parallel_pool_spinup_suppresses_expansion_split(
         self, msi_nonstalling, monkeypatch

@@ -9,11 +9,47 @@ from __future__ import annotations
 
 import random
 
+import pytest
+
 from repro.core import GenerationConfig, generate
 from repro.core.fsm import MessageEvent, event_key
 from repro.dsl.types import Permission
 from repro.system import System
 from repro.system.system import DeliverMessage, GlobalState
+from repro.verification import default_invariants
+
+
+def replay_and_check(system, result):
+    """Replay ``result.trace_events`` from the initial state and assert the
+    reported outcome is reproduced exactly."""
+    state = system.initial_state()
+    events = result.trace_events
+    assert [str(e) for e in events] == result.trace
+    for step, event in enumerate(events):
+        assert event in system.enabled_events(state), (
+            f"replay step {step}: {event} is not enabled"
+        )
+        outcome = system.apply(state, event)
+        if step == len(events) - 1 and result.error is not None:
+            assert outcome.error == result.error
+            return
+        assert outcome.error is None, f"replay step {step} errored: {outcome.error}"
+        state = outcome.state
+    if result.error is not None:
+        pytest.fail("error trace replayed without reproducing the error")
+    if result.violation is not None:
+        reproduced = [
+            v
+            for v in (inv(system, state) for inv in default_invariants())
+            if v is not None and str(v) == str(result.violation)
+        ]
+        assert reproduced, f"violation {result.violation} not reproduced by replay"
+        return
+    if result.deadlock:
+        assert not system.enabled_events(state)
+        assert not system.is_quiescent(state)
+        return
+    pytest.fail("failing result carried no violation/error/deadlock")
 
 
 def drop_cache_handler(generated, state: str, message: str):
